@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Every benchmark regenerates one paper artifact at the ``fast`` scale
+(minutes on one core; set REPRO_SCALE=paper for the full §7 workloads),
+prints the same rows/series the paper plots, and asserts the paper's
+qualitative claims — orderings, shapes, crossovers — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+SCALE = os.environ.get("REPRO_SCALE", "fast")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive figure generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def acc_at(series: dict, budget: float) -> float:
+    """Best accuracy within a cost budget for one curve dict."""
+    pairs = [(c, a) for c, a in zip(series["cost"], series["accuracy"]) if c <= budget]
+    return max((a for _, a in pairs), default=0.0)
+
+
+def final_acc(series: dict) -> float:
+    return series["accuracy"][-1] if series["accuracy"] else 0.0

@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest: nothing needed beyond pytest-benchmark."""

@@ -1,0 +1,83 @@
+"""Ablations — periodic regrouping (§6.1) and the MinGS knob (§5.3).
+
+Regrouping: re-running CoV-Grouping every R rounds rotates which clients
+sit in the prioritized groups, utilizing the data that pure ESRCoV
+sampling would ignore (the paper's suggested remedy; its random first-
+client pick is what makes regroupings differ).
+
+MinGS: larger anonymity floors force bigger groups — more quadratic
+overhead per round but better in-group balance; the sweep exposes the
+trade-off that motivates the whole paper.
+"""
+
+import numpy as np
+
+from _util import SCALE, run_once
+from repro.experiments.configs import get_scale, make_image_workload
+from repro.experiments.runner import run_combo
+from repro.grouping import CoVGrouping, evaluate_grouping, group_clients_per_edge
+
+
+def run_regroup_ablation():
+    from dataclasses import replace
+
+    s = get_scale(SCALE)
+    out = {}
+    for label, regroup in [("static", None), ("regroup@5", 5)]:
+        wl = make_image_workload(s, alpha=0.1, seed=0)
+        wl.trainer_config.regroup_every = regroup
+        grouper = CoVGrouping(s.min_group_size, s.max_cov)
+        from repro.core.trainer import GroupFELTrainer
+
+        groups = group_clients_per_edge(grouper, wl.fed.L, wl.edge_assignment, rng=0)
+        cfg = replace(wl.trainer_config, sampling_method="esrcov")
+        trainer = GroupFELTrainer(
+            wl.model_fn, wl.fed, groups, cfg, cost_model=wl.cost_model,
+            grouper=grouper if regroup else None,
+            edge_assignment=wl.edge_assignment if regroup else None,
+            label=label,
+        )
+        out[label] = trainer.run()
+    return out
+
+
+def test_regrouping(benchmark):
+    histories = run_once(benchmark, run_regroup_ablation)
+    finals = {k: h.final_accuracy for k, h in histories.items()}
+    print(f"\nregrouping ablation: { {k: round(v, 3) for k, v in finals.items()} }")
+    # Both configurations must train; regrouping stays within noise of
+    # static grouping while covering more clients.
+    assert min(finals.values()) > 0.4
+    assert abs(finals["regroup@5"] - finals["static"]) < 0.12
+
+
+def test_mings_tradeoff(benchmark):
+    """Larger MinGS ⇒ larger groups, more overhead, lower CoV."""
+
+    def sweep():
+        s = get_scale(SCALE)
+        wl = make_image_workload(s, alpha=0.1, seed=0)
+        rows = []
+        for mings in (3, 5, 8):
+            if mings > wl.fed.num_clients // len(wl.edge_assignment):
+                continue
+            groups = group_clients_per_edge(
+                CoVGrouping(mings, s.max_cov), wl.fed.L, wl.edge_assignment, rng=0
+            )
+            rep = evaluate_grouping(groups)
+            rows.append(
+                {"MinGS": mings, "avg_size": rep.size_avg,
+                 "avg_cov": rep.avg_cov, "avg_overhead": rep.avg_overhead}
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    for r in rows:
+        print(f"\nMinGS={r['MinGS']}: size={r['avg_size']:.2f} "
+              f"cov={r['avg_cov']:.3f} overhead={r['avg_overhead']:.1f}")
+    sizes = [r["avg_size"] for r in rows]
+    overheads = [r["avg_overhead"] for r in rows]
+    covs = [r["avg_cov"] for r in rows]
+    assert sizes == sorted(sizes), "group size must grow with MinGS"
+    assert overheads == sorted(overheads), "overhead must grow with MinGS"
+    assert covs[-1] <= covs[0] + 0.05, "bigger groups should not be more skewed"

@@ -1,0 +1,49 @@
+"""Fig. 10 — accuracy vs total cost (Eq. 5), all methods, image task.
+
+Paper claims: under the cost axis Group-FEL's advantage grows. FedProx and
+SCAFFOLD pay extra per-round compute/communication (1.3× training, 2×
+payload respectively); SHARE's KLD grouping produces oversized costly
+groups; FedCLAR trains every cluster every round. These are structural,
+so the cost-axis orderings are robust at any scale.
+"""
+
+import numpy as np
+
+from _util import SCALE, acc_at, run_once
+from repro.experiments import format_series
+from test_fig9_accuracy_vs_round import get_result
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, get_result)
+    series = result["series"]
+    print("\n" + format_series(series, "cost", "accuracy", title="Fig 10"))
+
+    # Evaluate at a budget everyone could reach.
+    budget = min(s["cost"][-1] for s in series.values())
+    accs = {k: acc_at(v, budget) for k, v in series.items()}
+    print(f"accuracy at matched budget {budget:.0f}: "
+          f"{ {k: round(v, 3) for k, v in accs.items()} }")
+
+    # Group-FEL beats the personalized baseline and stays competitive with
+    # the best method under matched cost.
+    assert accs["group_fel"] > accs["fedclar"] - 0.02, (
+        f"group_fel {accs['group_fel']:.3f} vs fedclar {accs['fedclar']:.3f}"
+    )
+    best = max(accs.values())
+    assert accs["group_fel"] >= best - 0.06
+
+    # Structural cost handicaps (the paper's §7.3.1 explanation): with the
+    # same random grouping, FedProx pays ~1.3× compute per round and
+    # SCAFFOLD masks a 2× payload — their mean per-round cost must exceed
+    # FedAvg's.
+    def mean_round_cost(series_dict):
+        costs_arr = np.asarray(series_dict["cost"], dtype=float)
+        return float(np.diff(np.concatenate([[0.0], costs_arr])).mean())
+
+    round_costs = {k: mean_round_cost(v) for k in ("fedavg", "fedprox", "scaffold")
+                   for v in [series[k]]}
+    print(f"mean per-round cost: "
+          f"{ {k: round(v) for k, v in round_costs.items()} }")
+    assert round_costs["fedprox"] > 1.1 * round_costs["fedavg"]
+    assert round_costs["scaffold"] > 1.05 * round_costs["fedavg"]

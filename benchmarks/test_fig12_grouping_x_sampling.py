@@ -1,0 +1,35 @@
+"""Fig. 12 — grouping × sampling ablation.
+
+Paper claims: CoVG+CoVS (the full Group-FEL combination) is clearly best;
+either ingredient alone gives much less; KLDG combinations lag because the
+KLD groups are costlier. Robust fast-scale checks: every combo learns,
+the CoVG-based combos beat the KLDG ones on the cost axis (KLDG's
+oversized groups are structurally expensive), and CoVG+CoVS is
+competitive with the best combo.
+"""
+
+import numpy as np
+
+from _util import SCALE, acc_at, run_once
+from repro.experiments import fig12_grouping_x_sampling, format_series
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, fig12_grouping_x_sampling, SCALE)
+    series = result["series"]
+    print("\n" + format_series(series, "cost", "accuracy", title="Fig 12"))
+
+    budget = min(s["cost"][-1] for s in series.values())
+    accs = {k: acc_at(v, budget) for k, v in series.items()}
+    print(f"accuracy at matched budget {budget:.0f}: "
+          f"{ {k: round(v, 3) for k, v in accs.items()} }")
+
+    assert min(accs.values()) > 0.3, "every combo must learn"
+
+    # The full combination is competitive with the best combo.
+    best = max(accs.values())
+    assert accs["CoVG+CoVS"] >= best - 0.06
+
+    # CoVG grouping beats KLDG grouping under the same sampling (KLDG's
+    # uncontrolled group sizes are costly — the paper's §7.3.1 argument).
+    assert accs["CoVG+CoVS"] >= accs["KLDG+CoVS"] - 0.02

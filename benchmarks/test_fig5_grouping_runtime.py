@@ -1,0 +1,35 @@
+"""Fig. 5 — grouping algorithm runtime vs number of clients.
+
+Paper claims: RG is near-free; CDG is cheap; CoVG groups 1000 clients in
+seconds; KLDG is far slower (O(|K|⁴|Y|) plus per-candidate log()).
+"""
+
+import numpy as np
+
+from _util import SCALE, run_once
+from repro.experiments import fig5_grouping_runtime, format_series
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, fig5_grouping_runtime, SCALE)
+    series = result["series"]
+    print("\n" + format_series(series, "clients", "seconds", title="Fig 5"))
+
+    largest = {name: s["seconds"][-1] for name, s in series.items()}
+
+    # Ordering at the largest client count: RG < CDG < CoVG < KLDG.
+    assert largest["RG"] < largest["CoVG"]
+    assert largest["CDG"] < largest["KLDG"]
+    assert largest["CoVG"] < largest["KLDG"], (
+        f"KLDG ({largest['KLDG']:.3f}s) must be slower than CoVG "
+        f"({largest['CoVG']:.3f}s) — the paper's log()-cost argument"
+    )
+    # KLDG's gap is large (paper: ~10× at 1000 clients).
+    assert largest["KLDG"] > 3.0 * largest["CoVG"]
+
+    # CoVG runtime grows superlinearly but stays practical.
+    covg = series["CoVG"]
+    assert covg["seconds"][-1] < 60.0
+    ratio = covg["seconds"][-1] / max(covg["seconds"][0], 1e-9)
+    size_ratio = covg["clients"][-1] / covg["clients"][0]
+    assert ratio > size_ratio, "CoVG should scale superlinearly (cubic bound)"

@@ -1,0 +1,46 @@
+"""Fig. 6 — average CoV vs average group overhead frontier.
+
+Paper claim: at matched overhead, CoVG produces the lowest-CoV (most IID)
+groups — its frontier dominates RG, CDG, and KLDG.
+"""
+
+import numpy as np
+
+from _util import SCALE, run_once
+from repro.experiments import fig6_cov_vs_overhead
+
+
+def pareto_dominates(xs_a, ys_a, xs_b, ys_b, slack=0.0):
+    """For each point of B, some point of A has ≤ overhead and ≤ CoV+slack."""
+    wins = 0
+    for xb, yb in zip(xs_b, ys_b):
+        if any(xa <= xb + 1e-9 and ya <= yb + slack for xa, ya in zip(xs_a, ys_a)):
+            wins += 1
+    return wins / max(len(xs_b), 1)
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, fig6_cov_vs_overhead, SCALE)
+    series = result["series"]
+    for name, pts in series.items():
+        rows = ", ".join(
+            f"(oh={o:.1f}, cov={c:.3f})"
+            for o, c in zip(pts["avg_overhead"], pts["avg_cov"])
+        )
+        print(f"\n{name:5s}: {rows}")
+
+    covg = series["CoVG"]
+    for rival in ("RG", "CDG", "KLDG"):
+        frac = pareto_dominates(
+            covg["avg_overhead"], covg["avg_cov"],
+            series[rival]["avg_overhead"], series[rival]["avg_cov"],
+            slack=0.02,
+        )
+        assert frac >= 0.6, (
+            f"CoVG's frontier should dominate {rival} "
+            f"(dominated fraction {frac:.2f})"
+        )
+
+    # CoVG's average CoV is the best overall.
+    best_cov = {name: min(pts["avg_cov"]) for name, pts in series.items()}
+    assert best_cov["CoVG"] == min(best_cov.values())

@@ -1,0 +1,41 @@
+"""Table 1 — Group-FEL across α × MaxCoV.
+
+Paper claims: (i) larger MaxCoV ⇒ smaller groups with larger average CoV;
+(ii) more IID data (larger α) ⇒ smaller group CoV at matched MaxCoV and
+better accuracy overall; (iii) group sizes always respect MinGS.
+"""
+
+import numpy as np
+
+from _util import SCALE, run_once
+from repro.experiments import format_table, table1_maxcov_alpha
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1_maxcov_alpha, SCALE)
+    rows = result["rows"]
+    print("\n" + format_table(rows, title="Table 1"))
+
+    by_cell = {(r["alpha"], r["MaxCoV"]): r for r in rows}
+    alphas = sorted({r["alpha"] for r in rows})
+    maxcovs = sorted({r["MaxCoV"] for r in rows})
+
+    # (i) Within each α: average group size shrinks (weakly) as MaxCoV
+    # loosens, and average CoV grows (weakly).
+    for a in alphas:
+        sizes = [by_cell[(a, c)]["GS_avg"] for c in maxcovs]
+        covs = [by_cell[(a, c)]["avg_cov"] for c in maxcovs]
+        assert sizes[0] >= sizes[-1] - 0.3, f"α={a}: sizes {sizes}"
+        assert covs[-1] >= covs[0] - 0.02, f"α={a}: covs {covs}"
+
+    # (ii) More IID data ⇒ lower group CoV at the tightest MaxCoV.
+    tight = maxcovs[0]
+    covs_by_alpha = [by_cell[(a, tight)]["avg_cov"] for a in alphas]
+    assert covs_by_alpha[-1] <= covs_by_alpha[0] + 0.02
+
+    # More IID data ⇒ better best-cell accuracy.
+    best_acc = {a: max(by_cell[(a, c)]["accuracy"] for c in maxcovs) for a in alphas}
+    assert best_acc[alphas[-1]] >= best_acc[alphas[0]] - 0.02
+
+    # (iii) MinGS respected everywhere.
+    assert all(r["GS_min"] >= 3 for r in rows)

@@ -1,0 +1,87 @@
+"""Backdoor attack vs the group defense — why groups pay for detection.
+
+Three of sixteen clients plant a trigger backdoor (stamped corner patch →
+target class 0) and boost their updates 6×. We train twice — with and
+without the backdoor-detection group operation — and compare clean
+accuracy and attack success rate (ASR). This is the security operation
+whose quadratic cost the paper's Eq. (5) charges every group for.
+
+The detector uses the coordination ("split") criterion: cut the update
+dendrogram in two and flag the minority only when it is markedly tighter
+than the majority — coordinated sybils produce mutually similar updates,
+honest small-shard updates are near-orthogonal. A lone attacker hiding in
+an otherwise-honest group can evade this (the known limitation that
+motivates FLAME's added noise); coordinated groups are caught reliably.
+
+    python examples/backdoor_attack_defense.py
+"""
+
+import numpy as np
+
+from repro import (
+    FederatedDataset,
+    Group,
+    GroupFELTrainer,
+    SyntheticImage,
+    TrainerConfig,
+    TriggerBackdoorAttack,
+    attack_success_rate,
+    make_mlp,
+    poison_federation,
+)
+from repro.secure import BackdoorDetector
+
+ATTACKERS = [0, 1, 2]
+TARGET = 0
+
+
+def run(defended: bool):
+    data = SyntheticImage(noise_std=2.5, seed=0)
+    train, test = data.train_test(6_000, 800)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=16, alpha=0.5, size_low=40, size_high=80, rng=3
+    )
+    attack = TriggerBackdoorAttack(target_class=TARGET, poison_fraction=0.9, boost=6.0)
+    attackers = poison_federation(fed, ATTACKERS, attack, rng=0)
+
+    # Two fixed groups of 8; the attackers sit together in group 0 but are
+    # still a within-group minority (the anonymity-set role of MinGS).
+    members = [np.arange(0, 8), np.arange(8, 16)]
+    groups = [
+        Group(j, 0, m, fed.L[m].sum(axis=0)) for j, m in enumerate(members)
+    ]
+
+    trainer = GroupFELTrainer(
+        lambda: make_mlp(192, 10, hidden=(32,), seed=3),
+        fed,
+        groups,
+        TrainerConfig(group_rounds=2, local_rounds=2, num_sampled=2,
+                      lr=0.1, momentum=0.9, max_rounds=10, seed=0),
+        attackers=attackers,
+        backdoor_detector=(
+            BackdoorDetector(criterion="split", separation_factor=1.5)
+            if defended else None
+        ),
+    )
+    history = trainer.run()
+    trainer.model.set_params(trainer.global_params)
+    asr = attack_success_rate(trainer.model, fed.test.x, fed.test.y, TARGET)
+    return history.final_accuracy, asr
+
+
+def main() -> None:
+    print(f"attackers: clients {ATTACKERS} -> trigger patch => class {TARGET}\n")
+    print(f"{'setting':>12s} {'clean acc':>10s} {'attack success':>15s}")
+    for label, defended in [("undefended", False), ("defended", True)]:
+        acc, asr = run(defended)
+        print(f"{label:>12s} {acc:10.3f} {asr:15.3f}")
+    print("\nThe defense flags the coordinated minority cluster, bans it for "
+          "the rest of the group session, and clips norms: clean accuracy is "
+          "preserved and the attack success rate drops sharply (it does not "
+          "hit zero — each new global round gives attackers one fresh shot "
+          "before re-detection, the persistent-adversary gap that motivates "
+          "cross-round reputation systems).")
+
+
+if __name__ == "__main__":
+    main()

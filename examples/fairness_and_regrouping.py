@@ -1,0 +1,73 @@
+"""Fairness under CoV sampling, and regrouping as the remedy (§6.1).
+
+CoV-prioritized sampling concentrates training on the best-balanced
+groups; the paper flags client/data fairness as future work and suggests
+periodic regrouping to fold the ignored clients back in. This example
+quantifies both: client participation coverage and per-client accuracy
+dispersion with and without regrouping.
+
+    python examples/fairness_and_regrouping.py
+"""
+
+import numpy as np
+
+from repro import (
+    CoVGrouping,
+    FederatedDataset,
+    GroupFELTrainer,
+    SyntheticImage,
+    TrainerConfig,
+    group_clients_per_edge,
+    make_mlp,
+    paper_cost_model,
+    participation_counts,
+    per_client_accuracy,
+)
+
+
+def run(regroup_every):
+    data = SyntheticImage(noise_std=4.0, seed=0)
+    train, test = data.train_test(10_000, 1_000)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=40, alpha=0.1, size_low=20, size_high=80, rng=3
+    )
+    edges = [np.arange(0, 20), np.arange(20, 40)]
+    grouper = CoVGrouping(min_group_size=4, max_cov=0.5)
+    groups = group_clients_per_edge(grouper, fed.L, edges, rng=1)
+
+    trainer = GroupFELTrainer(
+        model_fn=lambda: make_mlp(192, 10, hidden=(32,), seed=5),
+        fed=fed,
+        groups=groups,
+        config=TrainerConfig(
+            group_rounds=2, local_rounds=2, num_sampled=3, lr=0.08, momentum=0.9,
+            sampling_method="esrcov", max_rounds=20, eval_every=5,
+            regroup_every=regroup_every, seed=0,
+        ),
+        cost_model=paper_cost_model("cifar"),
+        grouper=grouper if regroup_every else None,
+        edge_assignment=edges if regroup_every else None,
+    )
+    history = trainer.run()
+    counts = participation_counts(trainer.sampled_history, fed.num_clients)
+    report = per_client_accuracy(trainer.model, fed.clients, trainer.global_params)
+    return history, report, counts
+
+
+def main() -> None:
+    print(f"{'setting':>12s} {'final_acc':>9s} {'coverage':>9s} "
+          f"{'acc mean':>8s} {'std':>6s} {'min':>6s} {'CoV':>6s}")
+    for label, regroup in [("static", None), ("regroup@5", 5)]:
+        history, report, counts = run(regroup)
+        coverage = int((counts > 0).sum())
+        print(f"{label:>12s} {history.final_accuracy:9.3f} {coverage:6d}/40 "
+              f"{report.mean:8.3f} {report.std:6.3f} {report.min:6.3f} "
+              f"{report.cov:6.3f}")
+    print("\nHigher coverage and lower client-accuracy CoV = fairer training. "
+          "Regrouping rotates the prioritized groups across the population "
+          "(§6.1's suggestion — the random first-client pick makes each "
+          "regrouping differ).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Group formation side by side: RG vs CDG vs KLDG vs CoVG.
+
+Builds a skewed federated population, runs all four grouping algorithms,
+and prints each one's group-size distribution, average CoV, runtime, and
+overhead proxy (a mini Figs. 5+6), then evaluates Theorem 1's group
+constants (γ, Γ) and an empirical ζ_g for each grouping.
+
+    python examples/grouping_playground.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import FederatedDataset, SyntheticImage
+from repro.grouping import (
+    CDGGrouping,
+    CoVGrouping,
+    KLDGrouping,
+    RandomGrouping,
+    evaluate_grouping,
+    group_clients_per_edge,
+)
+from repro.nn import make_mlp
+from repro.theory import estimate_group_heterogeneity, gamma_big, gamma_of_group
+
+
+def main() -> None:
+    data = SyntheticImage(noise_std=4.0, seed=0)
+    train, test = data.train_test(20_000, 1_000)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=90, alpha=0.1, size_low=20, size_high=100, rng=3
+    )
+    edges = [np.arange(j * 30, (j + 1) * 30) for j in range(3)]
+    client_sizes = fed.client_sizes()
+
+    model = make_mlp(int(np.prod(train.feature_shape)), 10, hidden=(32,), seed=0)
+    params = model.get_params()
+
+    print(f"{'algorithm':10s} {'groups':>6s} {'sizes':>14s} {'avgCoV':>7s} "
+          f"{'overhead':>9s} {'time(s)':>8s} {'Γ':>6s} {'max γ':>6s} {'ζ_g²':>8s}")
+    for name, grouper in [
+        ("RG", RandomGrouping(group_size=5)),
+        ("CDG", CDGGrouping(group_size=5)),
+        ("KLDG", KLDGrouping(min_group_size=5)),
+        ("CoVG", CoVGrouping(min_group_size=5, max_cov=0.5)),
+    ]:
+        t0 = time.perf_counter()
+        groups = group_clients_per_edge(grouper, fed.L, edges, rng=1)
+        dt = time.perf_counter() - t0
+        rep = evaluate_grouping(groups, runtime_s=dt)
+        zeta_g2, _ = estimate_group_heterogeneity(model, params, fed.clients, groups)
+        gam = max(gamma_of_group(g, client_sizes) for g in groups)
+        print(f"{name:10s} {rep.num_groups:6d} "
+              f"[{rep.size_min},{rep.size_max}]({rep.size_avg:5.2f}) "
+              f"{rep.avg_cov:7.3f} {rep.avg_overhead:9.1f} {dt:8.3f} "
+              f"{gamma_big(groups):6.3f} {gam:6.3f} {zeta_g2:8.4f}")
+
+    print("\nCoVG should show the lowest avg CoV — and the lowest empirical "
+          "group heterogeneity ζ_g², the constant Theorem 1 says governs "
+          "convergence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Speech-Commands-style Group-FEL with the real system stack engaged.
+
+The paper's second workload (§7.3.2): 35 command classes, extreme label
+skew (α = 0.01 — each client mostly holds < 5 classes), a lightweight CNN.
+This example runs it with everything turned on at once: secure aggregation
+for group updates, update quantization on the wire, wall-clock simulation,
+and a fairness report at the end.
+
+    python examples/speech_commands_fl.py
+"""
+
+import numpy as np
+
+from repro import (
+    CommModel,
+    CoVGrouping,
+    FederatedDataset,
+    HierarchicalTopology,
+    GroupFELTrainer,
+    SyntheticAudio,
+    TrainerConfig,
+    group_clients_per_edge,
+    make_mlp,
+    paper_cost_model,
+    per_client_accuracy,
+)
+from repro.compression import QuantizeCompressor
+from repro.costs.wallclock import WallClockSimulator
+
+
+def main() -> None:
+    # 35-class audio-like task, extremely skewed across 30 clients.
+    data = SyntheticAudio(noise_std=2.5, seed=0)
+    train, test = data.train_test(9_000, 1_400)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=30, alpha=0.01, size_low=20, size_high=80, rng=5
+    )
+    classes_per_client = (fed.L > 0).sum(axis=1)
+    print(f"extreme skew: clients hold {classes_per_client.mean():.1f} of 35 "
+          f"classes on average (paper: 'less than 5 types')")
+
+    topo = HierarchicalTopology(num_clients=30, num_edges=2)
+    grouper = CoVGrouping(min_group_size=5, max_cov=float("inf"))  # §7.3.2: no MaxCoV
+    groups = group_clients_per_edge(grouper, fed.L, topo.edge_assignment(), rng=1)
+    print(f"groups: {len(groups)}, sizes {[g.size for g in groups]}, "
+          f"CoVs {[round(g.cov, 2) for g in groups]}")
+
+    in_features = int(np.prod(train.feature_shape))
+    model_fn = lambda: make_mlp(in_features, 35, hidden=(64,), seed=9)
+    cost_model = paper_cost_model("sc", "secagg")
+    comm = CommModel.for_model(topo, num_params=model_fn().num_params)
+
+    trainer = GroupFELTrainer(
+        model_fn=model_fn,
+        fed=fed,
+        groups=groups,
+        config=TrainerConfig(
+            group_rounds=3, local_rounds=2, num_sampled=3, lr=0.1, momentum=0.9,
+            sampling_method="esrcov", max_rounds=20, eval_every=4,
+            use_secure_aggregation=True, seed=0,
+        ),
+        cost_model=cost_model,
+        compressor=QuantizeCompressor(bits=8),
+        wallclock=WallClockSimulator(topo, cost_model, comm),
+    )
+    history = trainer.run()
+
+    print("\nround   cost        sim-time(s)  accuracy")
+    wall = np.cumsum(history.extra["wall_clock_s"])
+    for i, (r, c, a) in enumerate(zip(history.rounds, history.costs, history.test_acc)):
+        t = wall[r - 1] if r - 1 < len(wall) else wall[-1]
+        print(f"{r:5d}   {c:9.0f}   {t:11.0f}  {a:.3f}")
+    print(f"\nchance accuracy = {1/35:.3f}; final = {history.final_accuracy:.3f} "
+          f"({history.final_accuracy * 35:.1f}x chance)")
+
+    fairness = per_client_accuracy(trainer.model, fed.clients, trainer.global_params)
+    print(f"per-client accuracy: mean {fairness.mean:.3f}, min {fairness.min:.3f}, "
+          f"CoV {fairness.cov:.3f}")
+
+
+if __name__ == "__main__":
+    main()

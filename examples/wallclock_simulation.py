@@ -1,0 +1,70 @@
+"""Wall-clock simulation: stragglers and group-size effects on latency.
+
+Eq. (5) charges resource cost; this example asks how long rounds *take*
+on the cloud-edge-client hierarchy: large groups serialize more uploads at
+the edge, and one slow device (compute_factor 10×) straggles its whole
+group. SCAFFOLD's 2× payload shows up as communication time.
+
+    python examples/wallclock_simulation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CommModel,
+    FederatedDataset,
+    HierarchicalTopology,
+    RandomGrouping,
+    SyntheticImage,
+    group_clients_per_edge,
+    paper_cost_model,
+)
+from repro.costs.wallclock import WallClockSimulator
+
+
+def main() -> None:
+    data = SyntheticImage(seed=0)
+    train, test = data.train_test(8_000, 500)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=24, alpha=0.5, size_low=20, size_high=80, rng=1
+    )
+    topo = HierarchicalTopology(num_clients=24, num_edges=2)
+    sizes = fed.client_sizes()
+    cost_model = paper_cost_model("sc")  # seconds on the reference device
+
+    print("=== group size vs round latency ===")
+    print(f"{'GS':>4s} {'compute(s)':>11s} {'comm(s)':>9s} {'total(s)':>9s}")
+    for gs in (3, 6, 12):
+        groups = group_clients_per_edge(
+            RandomGrouping(group_size=gs), fed.L, topo.edge_assignment(), rng=0
+        )
+        comm = CommModel.for_model(topo, num_params=50_000)
+        sim = WallClockSimulator(topo, cost_model, comm)
+        t = sim.round_timing(groups[:2], sizes, group_rounds=3, local_rounds=2)
+        print(f"{gs:4d} {t.compute_s:11.1f} {t.comm_s:9.2f} {t.total_s:9.1f}")
+
+    print("\n=== a straggler device (10x slower) ===")
+    groups = group_clients_per_edge(
+        RandomGrouping(group_size=6), fed.L, topo.edge_assignment(), rng=0
+    )
+    comm = CommModel.for_model(topo, num_params=50_000)
+    sim = WallClockSimulator(topo, cost_model, comm)
+    base = sim.round_timing(groups[:2], sizes, 3, 2)
+    straggler = int(groups[0].members[0])
+    topo.clients[straggler].compute_factor = 10.0
+    slow = sim.round_timing(groups[:2], sizes, 3, 2)
+    print(f"baseline: {base.total_s:8.1f}s (bottleneck group {base.bottleneck_group})")
+    print(f"straggler: {slow.total_s:8.1f}s (bottleneck group {slow.bottleneck_group})")
+    topo.clients[straggler].compute_factor = 1.0
+
+    print("\n=== payload factor (SCAFFOLD ships 2x) ===")
+    for pf, name in [(1.0, "FedAvg"), (2.0, "SCAFFOLD")]:
+        comm = CommModel.for_model(topo, num_params=50_000, payload_factor=pf)
+        sim = WallClockSimulator(topo, cost_model, comm)
+        t = sim.round_timing(groups[:2], sizes, 3, 2)
+        traffic = comm.round_traffic(groups[:2], 3)
+        print(f"{name:9s} comm {t.comm_s:7.2f}s  traffic {traffic.total_bytes/1e6:7.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the sandbox has setuptools without the `wheel` package, so
+PEP-660 editable installs fail; `setup.py develop` still works offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Baseline methods, all run through the same hierarchical loop (§7.3).
+
+Per the paper's protocol every baseline is "modified to a hierarchical
+version ... with uniform group sampling": FedAvg / FedProx / SCAFFOLD use
+random grouping; OUEA brings its CDG grouping; SHARE its KLD grouping;
+FedCLAR starts from random grouping and switches to clustered personalized
+training at a set round. Group-FEL itself is CoV-Grouping + CoV sampling.
+"""
+
+from repro.baselines.fedclar import FedCLARTrainer
+from repro.baselines.registry import METHODS, MethodSpec, build_method
+
+__all__ = ["FedCLARTrainer", "METHODS", "MethodSpec", "build_method"]

@@ -1,0 +1,127 @@
+"""Named method configurations — one spec per curve in Figs. 9–11.
+
+``build_method`` assembles a ready-to-run trainer for any of the paper's
+seven methods from shared ingredients (dataset, model factory, edge
+assignment, cost model), applying each method's grouping algorithm,
+sampling rule, local strategy, and cost factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.fedclar import FedCLARTrainer
+from repro.core.strategies import (
+    FedProxStrategy,
+    LocalStrategy,
+    PlainSGDStrategy,
+    ScaffoldStrategy,
+)
+from repro.core.trainer import GroupFELTrainer, TrainerConfig
+from repro.costs.model import CostModel
+from repro.data.client_data import FederatedDataset
+from repro.grouping import (
+    CDGGrouping,
+    CoVGrouping,
+    Grouper,
+    KLDGrouping,
+    RandomGrouping,
+    group_clients_per_edge,
+)
+from repro.rng import make_rng
+
+__all__ = ["MethodSpec", "METHODS", "build_method"]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Recipe for one method: grouping × sampling × local strategy."""
+
+    name: str
+    grouper_factory: Callable[[int, float], Grouper]  # (size_knob, max_cov) -> Grouper
+    sampling_method: str
+    strategy_factory: Callable[[], LocalStrategy]
+    trainer_cls: type = GroupFELTrainer
+    trainer_kwargs: dict | None = None
+
+
+def _covg(size: int, max_cov: float) -> Grouper:
+    return CoVGrouping(min_group_size=size, max_cov=max_cov)
+
+
+def _rg(size: int, max_cov: float) -> Grouper:
+    return RandomGrouping(group_size=size)
+
+
+def _cdg(size: int, max_cov: float) -> Grouper:
+    return CDGGrouping(group_size=size)
+
+
+def _kldg(size: int, max_cov: float) -> Grouper:
+    return KLDGrouping(min_group_size=size)
+
+
+#: The seven methods of §7.3 (Figs. 9–11).
+METHODS: dict[str, MethodSpec] = {
+    "group_fel": MethodSpec("group_fel", _covg, "esrcov", PlainSGDStrategy),
+    "fedavg": MethodSpec("fedavg", _rg, "random", PlainSGDStrategy),
+    "fedprox": MethodSpec("fedprox", _rg, "random", lambda: FedProxStrategy(mu=0.01)),
+    "scaffold": MethodSpec("scaffold", _rg, "random", ScaffoldStrategy),
+    "ouea": MethodSpec("ouea", _cdg, "random", PlainSGDStrategy),
+    "share": MethodSpec("share", _kldg, "random", PlainSGDStrategy),
+    "fedclar": MethodSpec(
+        "fedclar",
+        _rg,
+        "random",
+        PlainSGDStrategy,
+        trainer_cls=FedCLARTrainer,
+        trainer_kwargs={"cluster_round": 10, "num_clusters": 4},
+    ),
+}
+
+
+def build_method(
+    name: str,
+    model_fn: Callable,
+    fed: FederatedDataset,
+    edge_assignment: list[np.ndarray],
+    config: TrainerConfig,
+    cost_model: CostModel | None = None,
+    group_size_knob: int = 5,
+    max_cov: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> GroupFELTrainer:
+    """Build a ready-to-run trainer for a named method.
+
+    Parameters
+    ----------
+    group_size_knob:
+        MinGS for the greedy groupers, target group size for RG/CDG —
+        "we tune all grouping algorithms so that they tend to generate
+        similar group sizes" (§7.1).
+    config:
+        Shared hyperparameters; the method's sampling rule overrides
+        ``config.sampling_method``.
+    """
+    try:
+        spec = METHODS[name]
+    except KeyError:
+        raise KeyError(f"unknown method {name!r}; known: {sorted(METHODS)}") from None
+    rng = make_rng(rng)
+    grouper = spec.grouper_factory(group_size_knob, max_cov)
+    groups = group_clients_per_edge(grouper, fed.L, edge_assignment, rng=rng)
+    cfg = replace(config, sampling_method=spec.sampling_method)
+    kwargs = dict(spec.trainer_kwargs or {})
+    return spec.trainer_cls(
+        model_fn,
+        fed,
+        groups,
+        cfg,
+        cost_model=cost_model,
+        strategy=spec.strategy_factory(),
+        label=name,
+        **kwargs,
+    )

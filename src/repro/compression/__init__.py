@@ -1,0 +1,29 @@
+"""Update compression for communication-efficient FL (§2.3's third axis).
+
+The paper's related work surveys methods that trade convergence for
+bandwidth via gradient/model compression ([26, 27]). This subsystem
+provides the standard compressors — top-k / random-k sparsification and
+uniform b-bit quantization — plus error-feedback residual accumulation,
+wired so a compressed Group-FEL run is a one-line change.
+
+All compressors operate on flat update vectors (the delta a client or
+group ships), matching the library's flat-parameter convention.
+"""
+
+from repro.compression.codecs import (
+    Compressor,
+    IdentityCompressor,
+    QuantizeCompressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+from repro.compression.error_feedback import ErrorFeedback
+
+__all__ = [
+    "Compressor",
+    "IdentityCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "QuantizeCompressor",
+    "ErrorFeedback",
+]

@@ -1,0 +1,157 @@
+"""Update compressors: sparsification and quantization.
+
+Each compressor maps a flat float64 vector to (compressed form, decoded
+vector, wire bytes). The decoded vector is what aggregation actually uses;
+``wire_bytes`` feeds communication accounting so compressed runs show up
+in traffic metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import make_rng
+
+__all__ = [
+    "CompressedUpdate",
+    "Compressor",
+    "IdentityCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "QuantizeCompressor",
+]
+
+
+@dataclass
+class CompressedUpdate:
+    """A compressed vector plus its decoded reconstruction."""
+
+    decoded: np.ndarray
+    wire_bytes: float
+    meta: dict
+
+
+class Compressor:
+    """Interface: compress a flat update vector."""
+
+    name = "base"
+
+    def compress(
+        self, vec: np.ndarray, rng: np.random.Generator | int | None = None
+    ) -> CompressedUpdate:
+        raise NotImplementedError
+
+    def compression_ratio(self, dim: int) -> float:
+        """Uncompressed bytes / wire bytes for a vector of length dim."""
+        probe = np.zeros(dim)
+        return (8.0 * dim) / max(self.compress(probe).wire_bytes, 1e-12)
+
+
+class IdentityCompressor(Compressor):
+    """No-op baseline (full-precision float64 on the wire)."""
+
+    name = "identity"
+
+    def compress(self, vec, rng=None) -> CompressedUpdate:
+        vec = np.asarray(vec, dtype=np.float64)
+        return CompressedUpdate(
+            decoded=vec.copy(), wire_bytes=8.0 * vec.size, meta={}
+        )
+
+
+class TopKCompressor(Compressor):
+    """Keep the k largest-magnitude coordinates; zero the rest.
+
+    Wire format: k (index, value) pairs → 12 bytes each (4-byte index +
+    8-byte value).
+    """
+
+    name = "topk"
+
+    def __init__(self, fraction: float = 0.1):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def _k(self, dim: int) -> int:
+        return max(1, int(round(self.fraction * dim)))
+
+    def compress(self, vec, rng=None) -> CompressedUpdate:
+        vec = np.asarray(vec, dtype=np.float64)
+        k = self._k(vec.size)
+        idx = np.argpartition(np.abs(vec), -k)[-k:]
+        decoded = np.zeros_like(vec)
+        decoded[idx] = vec[idx]
+        return CompressedUpdate(
+            decoded=decoded, wire_bytes=12.0 * k, meta={"k": k, "indices": idx}
+        )
+
+
+class RandomKCompressor(Compressor):
+    """Keep k uniformly random coordinates, unbiased via 1/p scaling.
+
+    E[decoded] = vec because kept entries are scaled by dim/k.
+    """
+
+    name = "randk"
+
+    def __init__(self, fraction: float = 0.1, unbiased: bool = True):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.unbiased = bool(unbiased)
+
+    def compress(self, vec, rng=None) -> CompressedUpdate:
+        vec = np.asarray(vec, dtype=np.float64)
+        rng = make_rng(rng)
+        k = max(1, int(round(self.fraction * vec.size)))
+        idx = rng.choice(vec.size, size=k, replace=False)
+        decoded = np.zeros_like(vec)
+        scale = vec.size / k if self.unbiased else 1.0
+        decoded[idx] = vec[idx] * scale
+        return CompressedUpdate(
+            decoded=decoded, wire_bytes=12.0 * k, meta={"k": k, "indices": idx}
+        )
+
+
+class QuantizeCompressor(Compressor):
+    """Uniform b-bit quantization over the vector's dynamic range.
+
+    Wire format: dim·b/8 bytes of codes plus two float64 range endpoints.
+    Optional stochastic rounding makes the codec unbiased.
+    """
+
+    name = "quantize"
+
+    def __init__(self, bits: int = 8, stochastic: bool = False):
+        if not 1 <= bits <= 16:
+            raise ValueError(f"bits must be in [1, 16], got {bits}")
+        self.bits = int(bits)
+        self.stochastic = bool(stochastic)
+
+    def compress(self, vec, rng=None) -> CompressedUpdate:
+        vec = np.asarray(vec, dtype=np.float64)
+        lo, hi = float(vec.min(initial=0.0)), float(vec.max(initial=0.0))
+        levels = (1 << self.bits) - 1
+        if hi <= lo:
+            decoded = np.full_like(vec, lo)
+            return CompressedUpdate(
+                decoded=decoded,
+                wire_bytes=vec.size * self.bits / 8.0 + 16.0,
+                meta={"lo": lo, "hi": hi},
+            )
+        unit = (vec - lo) / (hi - lo) * levels
+        if self.stochastic:
+            rng = make_rng(rng)
+            floor = np.floor(unit)
+            codes = floor + (rng.random(vec.shape) < (unit - floor))
+        else:
+            codes = np.rint(unit)
+        decoded = lo + codes / levels * (hi - lo)
+        return CompressedUpdate(
+            decoded=decoded,
+            wire_bytes=vec.size * self.bits / 8.0 + 16.0,
+            meta={"lo": lo, "hi": hi},
+        )

@@ -1,0 +1,67 @@
+"""Error-feedback residual accumulation (EF-SGD / memory compensation).
+
+Biased compressors (top-k, deterministic quantization) lose signal every
+round; error feedback adds the previous round's compression residual to
+the next update before compressing, which provably restores convergence
+for contractive compressors (Stich et al., 2018; Karimireddy et al.,
+2019).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.codecs import CompressedUpdate, Compressor
+from repro.rng import make_rng
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback:
+    """Per-sender residual memory wrapped around any compressor.
+
+    Usage::
+
+        ef = ErrorFeedback(TopKCompressor(0.05), num_params)
+        sent = ef.compress(sender_id, update)   # decoded vector to aggregate
+    """
+
+    def __init__(self, compressor: Compressor, num_params: int):
+        if num_params < 1:
+            raise ValueError(f"num_params must be >= 1, got {num_params}")
+        self.compressor = compressor
+        self.num_params = int(num_params)
+        self.residuals: dict[int, np.ndarray] = {}
+
+    def _residual(self, sender_id: int) -> np.ndarray:
+        if sender_id not in self.residuals:
+            self.residuals[sender_id] = np.zeros(self.num_params)
+        return self.residuals[sender_id]
+
+    def compress(
+        self,
+        sender_id: int,
+        update: np.ndarray,
+        rng: np.random.Generator | int | None = None,
+    ) -> CompressedUpdate:
+        """Compress ``update + residual`` and bank the new residual."""
+        update = np.asarray(update, dtype=np.float64)
+        if update.shape != (self.num_params,):
+            raise ValueError(
+                f"update shape {update.shape} != ({self.num_params},)"
+            )
+        residual = self._residual(sender_id)
+        target = update + residual
+        out = self.compressor.compress(target, rng=make_rng(rng))
+        self.residuals[sender_id] = target - out.decoded
+        return out
+
+    def reset(self) -> None:
+        """Clear all residual memories (e.g. after regrouping)."""
+        self.residuals.clear()
+
+    def total_residual_norm(self) -> float:
+        """Σ‖residual‖ across senders (diagnostic for lost signal)."""
+        return float(
+            sum(np.linalg.norm(r) for r in self.residuals.values())
+        )

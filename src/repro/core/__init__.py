@@ -1,0 +1,46 @@
+"""Group-FEL core: Algorithm 1 plus the local-update strategies.
+
+``GroupFELTrainer`` orchestrates the three nested loops — global rounds
+``T``, group rounds ``K``, local rounds ``E`` — with probabilistic group
+sampling at the cloud, weighted group aggregation at the edges, and cost
+accounting per Eq. (5). Local-update behaviour (plain SGD, FedProx's
+proximal term, SCAFFOLD's control variates) is pluggable via
+``LocalStrategy`` so every baseline runs through the same hierarchy.
+"""
+
+from repro.core.strategies import (
+    FedProxStrategy,
+    LocalStrategy,
+    PlainSGDStrategy,
+    ScaffoldStrategy,
+)
+from repro.core.callbacks import (
+    Callback,
+    Checkpointer,
+    EarlyStopping,
+    MetricTracker,
+    RoundLogger,
+    TimeBudget,
+)
+from repro.core.client import run_local_rounds
+from repro.core.group import run_group_round
+from repro.core.aggregation import weighted_average
+from repro.core.trainer import GroupFELTrainer, TrainerConfig
+
+__all__ = [
+    "LocalStrategy",
+    "PlainSGDStrategy",
+    "FedProxStrategy",
+    "ScaffoldStrategy",
+    "run_local_rounds",
+    "run_group_round",
+    "weighted_average",
+    "GroupFELTrainer",
+    "TrainerConfig",
+    "Callback",
+    "RoundLogger",
+    "EarlyStopping",
+    "Checkpointer",
+    "TimeBudget",
+    "MetricTracker",
+]

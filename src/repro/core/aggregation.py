@@ -1,0 +1,48 @@
+"""Weighted model aggregation (Lines 14–15 of Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_average"]
+
+
+def weighted_average(
+    param_matrix: np.ndarray,
+    weights: np.ndarray,
+    normalize: bool = False,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Σ_k w_k · params_k over rows of ``param_matrix``.
+
+    One GEMV over the stacked parameter matrix — the single hot loop of
+    every aggregation in the system (group and global), kept allocation-
+    free via the optional ``out`` buffer.
+
+    Parameters
+    ----------
+    param_matrix:
+        Shape (models, num_params).
+    weights:
+        Shape (models,). With ``normalize`` they are scaled to sum to 1
+        first (biased / stabilized modes); without, used verbatim
+        (unbiased mode, where weights deliberately may not sum to 1).
+    """
+    param_matrix = np.asarray(param_matrix, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if param_matrix.ndim != 2:
+        raise ValueError(f"param_matrix must be 2-D, got shape {param_matrix.shape}")
+    if weights.shape != (param_matrix.shape[0],):
+        raise ValueError(
+            f"weights shape {weights.shape} != ({param_matrix.shape[0]},)"
+        )
+    if normalize:
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must have positive sum to normalize")
+        weights = weights / total
+    result = weights @ param_matrix
+    if out is not None:
+        out[:] = result
+        return out
+    return result

@@ -1,0 +1,79 @@
+"""Client-side local training (Algorithm 1, Lines 11–13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.strategies import LocalStrategy, PlainSGDStrategy
+from repro.data.client_data import ClientDataset
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+from repro.rng import make_rng
+
+__all__ = ["run_local_rounds"]
+
+
+def run_local_rounds(
+    model: Model,
+    optimizer: SGD,
+    client: ClientDataset,
+    start_params: np.ndarray,
+    local_rounds: int,
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    strategy: LocalStrategy | None = None,
+    anchor: np.ndarray | None = None,
+    step_mode: str = "epoch",
+) -> tuple[np.ndarray, int]:
+    """Run E local rounds of SGD on one client's shard.
+
+    Parameters
+    ----------
+    model / optimizer:
+        Shared model instance; parameters are loaded from ``start_params``
+        first (the group model x^g_{t,k}), optimizer momentum is reset —
+        clients are stateless between rounds.
+    local_rounds:
+        The paper's E.
+    step_mode:
+        ``"epoch"`` — each local round is one pass over the shard in
+        shuffled minibatches (matches the cost model's E·H_i(n_i), H = one
+        full pass); ``"batch"`` — each local round is a single minibatch
+        step on a sampled ξ (Algorithm 1's literal Line 13).
+    strategy / anchor:
+        Local-update strategy and the model it anchors to (defaults to
+        ``start_params``).
+
+    Returns (final flat parameters, number of SGD steps taken).
+    """
+    if local_rounds < 1:
+        raise ValueError(f"local_rounds must be >= 1, got {local_rounds}")
+    if step_mode not in ("epoch", "batch"):
+        raise ValueError(f"step_mode must be 'epoch' or 'batch', got {step_mode!r}")
+    rng = make_rng(rng)
+    strategy = strategy or PlainSGDStrategy()
+    anchor = start_params if anchor is None else anchor
+
+    model.set_params(start_params)
+    optimizer.reset_state()
+    steps = 0
+    uses_offset = not isinstance(strategy, PlainSGDStrategy)
+    for _ in range(local_rounds):
+        if step_mode == "epoch":
+            batches = client.batches(batch_size, rng)
+        else:
+            batches = [client.sample_batch(batch_size, rng)]
+        for xb, yb in batches:
+            model.loss_and_grad(xb, yb)
+            offset = (
+                strategy.grad_offset(client.client_id, model.get_params(), anchor)
+                if uses_offset
+                else None
+            )
+            optimizer.step(grad_offset=offset)
+            steps += 1
+    end_params = model.get_params()
+    strategy.after_local(
+        client.client_id, start_params, end_params, steps, optimizer.effective_lr
+    )
+    return end_params, steps

@@ -1,0 +1,205 @@
+"""Edge-side group round (Algorithm 1, Lines 8–14).
+
+One call = the K group rounds for one sampled group: every client starts
+from the current group model, runs E local rounds, and the edge server
+aggregates the client models weighted by n_i/n_g. Optionally, the group
+aggregation actually runs through secure aggregation + backdoor detection
+(the group operations the cost model charges for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation import weighted_average
+from repro.core.client import run_local_rounds
+from repro.core.strategies import LocalStrategy
+from repro.data.client_data import ClientDataset
+from repro.grouping.base import Group
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+from repro.rng import make_rng
+from repro.secure.backdoor import BackdoorDetector
+from repro.secure.secagg import SecureAggregator
+
+__all__ = ["run_group_round"]
+
+
+def run_group_round(
+    model: Model,
+    optimizer: SGD,
+    group: Group,
+    clients: list[ClientDataset],
+    global_params: np.ndarray,
+    group_rounds: int,
+    local_rounds: int,
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    strategy: LocalStrategy | None = None,
+    step_mode: str = "epoch",
+    secure_aggregator: SecureAggregator | None = None,
+    backdoor_detector: BackdoorDetector | None = None,
+    round_id: int = 0,
+    compressor=None,
+    dropout_prob: float = 0.0,
+    dropout_aggregator=None,
+    update_transforms: dict | None = None,
+) -> np.ndarray:
+    """Run the K×(clients×E) loop for one group; returns the group model.
+
+    Parameters
+    ----------
+    clients:
+        The full client list, indexed by the group's member ids.
+    secure_aggregator:
+        When set, each group aggregation is performed through pairwise-
+        masked secure aggregation (clients pre-scale by n_i/n_g) instead of
+        a plain weighted average — functionally identical up to fixed-point
+        rounding, but exercising the real group operation.
+    backdoor_detector:
+        When set, client *updates* (delta from the group model) pass the
+        clustering defense before aggregation; flagged clients are dropped
+        from this group round.
+    compressor:
+        Optional update compressor (``repro.compression``): each client's
+        update is compressed (lossy) before leaving the device, and the
+        decoded reconstruction is what the edge aggregates. An
+        ``ErrorFeedback`` wrapper is also accepted (keyed by client id).
+    dropout_prob:
+        Per-client, per-group-round probability of dropping after local
+        training (device failure / connectivity loss). At least one client
+        always survives. Dropped clients' updates are excluded and the
+        surviving weights renormalized.
+    dropout_aggregator:
+        Optional :class:`repro.secure.DropoutTolerantAggregator`: when set
+        (and dropouts occur), the aggregation runs the full seed-share
+        reconstruction protocol instead of silently skipping the dropped
+        clients — exercising the real recovery path.
+    """
+    if not 0.0 <= dropout_prob < 1.0:
+        raise ValueError(f"dropout_prob must be in [0, 1), got {dropout_prob}")
+    rng = make_rng(rng)
+    members = [clients[int(cid)] for cid in group.members]
+    n_i = np.array([c.n for c in members], dtype=np.float64)
+    n_g = n_i.sum()
+    if n_g <= 0:
+        raise ValueError(f"group {group.group_id} has no data")
+    data_weights = n_i / n_g
+
+    group_params = global_params.copy()  # Line 8: x^g_{t,0} = x_t
+    num_params = group_params.shape[0]
+    client_params = np.empty((len(members), num_params))
+    client_rngs = rng.spawn(len(members))
+    #: clients the defense flagged earlier in this group session
+    banned: set[int] = set()
+
+    for k in range(group_rounds):
+        for idx, client in enumerate(members):
+            end, _ = run_local_rounds(
+                model,
+                optimizer,
+                client,
+                start_params=group_params,
+                local_rounds=local_rounds,
+                batch_size=batch_size,
+                rng=client_rngs[idx],
+                strategy=strategy,
+                anchor=group_params,
+                step_mode=step_mode,
+            )
+            client_params[idx] = end
+
+        # Per-round working views (the persistent client_params buffer must
+        # never be rebound — the next k iteration refills it for all
+        # members).
+        params_k = client_params
+        weights = data_weights
+        updates = client_params - group_params
+        # Adversarial clients manipulate their upload (repro.attacks).
+        if update_transforms:
+            for idx, client in enumerate(members):
+                attack = update_transforms.get(client.client_id)
+                if attack is not None:
+                    updates[idx] = attack.transform_update(updates[idx], rng=rng)
+            params_k = group_params + updates
+        if compressor is not None:
+            from repro.compression.error_feedback import ErrorFeedback
+
+            for idx, client in enumerate(members):
+                if isinstance(compressor, ErrorFeedback):
+                    out = compressor.compress(client.client_id, updates[idx], rng=rng)
+                else:
+                    out = compressor.compress(updates[idx], rng=rng)
+                updates[idx] = out.decoded
+            params_k = group_params + updates
+        # Simulated client dropout: failed clients never submit this round.
+        if dropout_prob > 0.0 and len(members) > 1:
+            alive = rng.random(len(members)) >= dropout_prob
+            # Keep enough survivors for aggregation (and for the recovery
+            # protocol's Shamir threshold, when in use).
+            min_alive = 1
+            if dropout_aggregator is not None:
+                min_alive = min(dropout_aggregator.threshold, len(members))
+            while alive.sum() < min_alive:
+                dead = np.flatnonzero(~alive)
+                alive[dead[int(rng.integers(dead.size))]] = True
+            if not alive.all():
+                if dropout_aggregator is not None:
+                    # Real recovery: reconstruct the dropped clients' masks
+                    # from survivor seed shares and cancel them.
+                    dropped = set(np.flatnonzero(~alive).tolist())
+                    w = weights / weights[alive].sum()
+                    res = dropout_aggregator.aggregate(
+                        updates * w[:, None],
+                        dropped=dropped,
+                        round_id=round_id * group_rounds + k,
+                        rng=rng,
+                    )
+                    group_params = group_params + res.total
+                    continue
+                updates = updates[alive]
+                params_k = params_k[alive]
+                weights = weights[alive] / weights[alive].sum()
+                members_round = [m for m, a in zip(members, alive) if a]
+            else:
+                members_round = members
+        else:
+            members_round = members
+
+        # Clients flagged in an earlier group round of this session stay
+        # banned — re-admitting a detected attacker at k+1 would re-implant
+        # whatever the defense just removed.
+        if banned:
+            keep_mask = np.array(
+                [m.client_id not in banned for m in members_round], dtype=bool
+            )
+            if not keep_mask.all() and keep_mask.any():
+                updates = updates[keep_mask]
+                params_k = params_k[keep_mask]
+                weights = weights[keep_mask] / weights[keep_mask].sum()
+                members_round = [m for m, kp in zip(members_round, keep_mask) if kp]
+
+        if backdoor_detector is not None and len(members_round) > 1:
+            report = backdoor_detector.detect(updates, rng=rng)
+            kept = report.admitted
+            for f in report.flagged:
+                banned.add(members_round[int(f)].client_id)
+            # Aggregate the defended (clipped) updates of admitted clients.
+            kept_weights = weights[kept]
+            kept_weights = kept_weights / kept_weights.sum()
+            if secure_aggregator is not None:
+                agg_update = secure_aggregator.aggregate_weighted(
+                    report.filtered, kept_weights, round_id=round_id * group_rounds + k
+                )
+            else:
+                agg_update = weighted_average(report.filtered, kept_weights)
+            group_params = group_params + agg_update
+        elif secure_aggregator is not None:
+            agg_update = secure_aggregator.aggregate_weighted(
+                updates, weights, round_id=round_id * group_rounds + k
+            )
+            group_params = group_params + agg_update
+        else:
+            # Line 14: x^g_{t,k+1} = Σ_i (n_i/n_g) x^i.
+            group_params = weighted_average(params_k, weights)
+    return group_params

@@ -1,0 +1,155 @@
+"""Local-update strategies: plain SGD, FedProx, SCAFFOLD.
+
+A strategy customizes the client's gradient step and carries any cross-
+round state. All three run inside the same hierarchical loop, which is how
+the paper compares them ("they are all modified to a hierarchical version
+... with uniform group sampling", §7.3).
+
+Cost coupling: ``training_factor`` scales H_i (FedProx's proximal term adds
+per-step compute) and ``payload_factor`` scales the group-operation payload
+(SCAFFOLD masks model + control variate), matching the Fig. 8 calibrations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "LocalStrategy",
+    "PlainSGDStrategy",
+    "FedProxStrategy",
+    "ScaffoldStrategy",
+]
+
+
+class LocalStrategy:
+    """Hook interface around the client's local SGD steps."""
+
+    name = "sgd"
+    #: multiplier on training cost H (extra per-step compute)
+    training_factor: float = 1.0
+    #: multiplier on group-op payload (extra masked state)
+    payload_factor: int = 1
+
+    def init_run(self, num_params: int, num_clients: int) -> None:
+        """Called once before training starts."""
+
+    def grad_offset(
+        self, client_id: int, params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        """Extra term added to the gradient at every local step.
+
+        ``params`` is the client's current flat parameter vector, ``anchor``
+        the model it started the group round from.
+        """
+        return None
+
+    def after_local(
+        self,
+        client_id: int,
+        start: np.ndarray,
+        end: np.ndarray,
+        steps: int,
+        lr: float,
+    ) -> None:
+        """Called after a client finishes its E local rounds."""
+
+    def after_global_round(self) -> None:
+        """Called after each global aggregation."""
+
+
+class PlainSGDStrategy(LocalStrategy):
+    """Vanilla local SGD — FedAvg/Group-FEL local behaviour."""
+
+    name = "sgd"
+
+
+class FedProxStrategy(LocalStrategy):
+    """FedProx: adds μ·(x − x_anchor) to every local gradient.
+
+    The proximal term tethers local iterates to the model the client
+    received, limiting client drift under non-IID data (Li et al., 2020).
+    """
+
+    name = "fedprox"
+    training_factor = 1.3  # proximal term costs an extra vector op per step
+
+    def __init__(self, mu: float = 0.01):
+        if mu < 0:
+            raise ValueError(f"mu must be >= 0, got {mu}")
+        self.mu = float(mu)
+
+    def grad_offset(
+        self, client_id: int, params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        if self.mu == 0.0:
+            return None
+        return self.mu * (params - anchor)
+
+
+class ScaffoldStrategy(LocalStrategy):
+    """SCAFFOLD: control variates correct the local descent direction.
+
+    Each client keeps a control variate c_i, the server keeps c; local
+    steps use gradient − c_i + c, and after local training
+
+        c_i⁺ = c_i − c + (x_start − x_end) / (steps · lr)
+
+    (option II of Karimireddy et al., 2020). The server folds participating
+    clients' deltas into c after each global round. Ships 2× payload
+    (model + variate), hence ``payload_factor = 2``.
+    """
+
+    name = "scaffold"
+    training_factor = 1.2
+    payload_factor = 2
+
+    def __init__(self):
+        self.c_global: np.ndarray | None = None
+        self.c_clients: dict[int, np.ndarray] = {}
+        self._pending_deltas: list[np.ndarray] = []
+        self._num_clients = 0
+        self._num_params = 0
+
+    def init_run(self, num_params: int, num_clients: int) -> None:
+        self.c_global = np.zeros(num_params)
+        self.c_clients = {}
+        self._pending_deltas = []
+        self._num_clients = num_clients
+        self._num_params = num_params
+
+    def _client_variate(self, client_id: int) -> np.ndarray:
+        if client_id not in self.c_clients:
+            self.c_clients[client_id] = np.zeros(self._num_params)
+        return self.c_clients[client_id]
+
+    def grad_offset(
+        self, client_id: int, params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        if self.c_global is None:
+            raise RuntimeError("init_run was not called before training")
+        return self.c_global - self._client_variate(client_id)
+
+    def after_local(
+        self,
+        client_id: int,
+        start: np.ndarray,
+        end: np.ndarray,
+        steps: int,
+        lr: float,
+    ) -> None:
+        if self.c_global is None:
+            raise RuntimeError("init_run was not called before training")
+        if steps <= 0 or lr <= 0:
+            return
+        c_i = self._client_variate(client_id)
+        c_new = c_i - self.c_global + (start - end) / (steps * lr)
+        self._pending_deltas.append(c_new - c_i)
+        self.c_clients[client_id] = c_new
+
+    def after_global_round(self) -> None:
+        if self.c_global is None or not self._pending_deltas:
+            return
+        # c ← c + (1/N) Σ Δc_i over this round's participants.
+        self.c_global += np.sum(self._pending_deltas, axis=0) / max(self._num_clients, 1)
+        self._pending_deltas = []

@@ -1,0 +1,332 @@
+"""GroupFELTrainer — Algorithm 1 end to end.
+
+The trainer wires together every subsystem: the federated dataset, the
+formed groups, the cloud sampler, the local-update strategy, the cost
+ledger, and (optionally) the real secure-aggregation/backdoor-detection
+group operations and a parallel group executor.
+
+Stopping is by global-round count and/or cost budget — the paper's
+evaluations fix a cost budget ("The budget is set as 10⁶ unit", §7.2) and
+compare accuracy reached within it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.aggregation import weighted_average
+from repro.core.group import run_group_round
+from repro.core.strategies import LocalStrategy, PlainSGDStrategy
+from repro.costs.ledger import CostLedger
+from repro.costs.model import CostModel, LinearCost, QuadraticCost
+from repro.data.client_data import FederatedDataset
+from repro.grouping.base import Group, Grouper, group_clients_per_edge
+from repro.metrics.history import TrainingHistory
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+from repro.parallel import ParallelMap
+from repro.rng import make_rng
+from repro.sampling.sampler import AggregationMode, GroupSampler
+from repro.secure.backdoor import BackdoorDetector
+from repro.secure.secagg import SecureAggregator
+
+__all__ = ["TrainerConfig", "GroupFELTrainer"]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyperparameters of one Group-FEL run (Algorithm 1's inputs).
+
+    Attributes mirror the paper's notation: ``group_rounds`` = K,
+    ``local_rounds`` = E, ``num_sampled`` = S = |S_t|.
+    """
+
+    group_rounds: int = 5
+    local_rounds: int = 2
+    num_sampled: int = 4
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    sampling_method: str = "esrcov"
+    aggregation_mode: AggregationMode | str = AggregationMode.BIASED
+    min_prob: float = 0.0
+    step_mode: str = "epoch"
+    eval_every: int = 1
+    max_rounds: int = 100
+    cost_budget: float | None = None
+    regroup_every: int | None = None
+    use_secure_aggregation: bool = False
+    use_backdoor_defense: bool = False
+    client_dropout_prob: float = 0.0
+    parallel_backend: str = "serial"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.group_rounds < 1:
+            raise ValueError(f"group_rounds (K) must be >= 1, got {self.group_rounds}")
+        if self.local_rounds < 1:
+            raise ValueError(f"local_rounds (E) must be >= 1, got {self.local_rounds}")
+        if self.num_sampled < 1:
+            raise ValueError(f"num_sampled (S) must be >= 1, got {self.num_sampled}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds (T) must be >= 1, got {self.max_rounds}")
+        if not 0.0 <= self.client_dropout_prob < 1.0:
+            raise ValueError(
+                f"client_dropout_prob must be in [0, 1), got {self.client_dropout_prob}"
+            )
+        self.aggregation_mode = AggregationMode(self.aggregation_mode)
+
+
+class GroupFELTrainer:
+    """Run group-based federated edge learning (Algorithm 1).
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-argument factory producing a fresh model (fresh instances are
+        needed per parallel worker; the serial path builds one).
+    fed:
+        The federated dataset (clients, shards, global test set).
+    groups:
+        The formed groups G (from ``group_clients_per_edge``).
+    config:
+        Hyperparameters.
+    cost_model:
+        Eq. (5) calibration; defaults to unit costs (H(n)=n, O(s)=s²).
+    strategy:
+        Local-update strategy (plain / FedProx / SCAFFOLD).
+    grouper / edge_assignment:
+        Only needed when ``config.regroup_every`` is set: the trainer
+        re-runs group formation on this grouper every R rounds (§6.1's
+        remark on utilizing leftover data via regrouping).
+    """
+
+    def __init__(
+        self,
+        model_fn,
+        fed: FederatedDataset,
+        groups: list[Group],
+        config: TrainerConfig | None = None,
+        cost_model: CostModel | None = None,
+        strategy: LocalStrategy | None = None,
+        grouper: Grouper | None = None,
+        edge_assignment: list[np.ndarray] | None = None,
+        label: str = "group-fel",
+        callbacks: list | None = None,
+        compressor=None,
+        wallclock=None,
+        attackers: dict | None = None,
+        backdoor_detector: BackdoorDetector | None = None,
+    ):
+        self.model_fn = model_fn
+        self.fed = fed
+        self.groups = list(groups)
+        self.config = config or TrainerConfig()
+        self.cost_model = cost_model or CostModel(
+            training=LinearCost(c1=1.0), group_op=QuadraticCost(c2=1.0)
+        )
+        self.strategy = strategy or PlainSGDStrategy()
+        self.grouper = grouper
+        self.edge_assignment = edge_assignment
+        self.label = label
+        if self.config.regroup_every is not None and (
+            grouper is None or edge_assignment is None
+        ):
+            raise ValueError("regroup_every requires grouper and edge_assignment")
+
+        self.rng = make_rng(self.config.seed)
+        self.model: Model = model_fn()
+        self.optimizer = SGD(
+            self.model,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self.global_params = self.model.get_params()
+        self.ledger = CostLedger(
+            self._effective_cost_model(), fed.client_sizes()
+        )
+        self.history = TrainingHistory(label=label)
+        self.sampler = self._make_sampler()
+        self.secure_aggregator = (
+            SecureAggregator(payload_factor=self.strategy.payload_factor)
+            if self.config.use_secure_aggregation
+            else None
+        )
+        if backdoor_detector is not None:
+            self.backdoor_detector: BackdoorDetector | None = backdoor_detector
+        else:
+            self.backdoor_detector = (
+                BackdoorDetector() if self.config.use_backdoor_defense else None
+            )
+        # Dropouts + secure aggregation together require the recovery
+        # protocol (survivors reconstruct dropped clients' masks).
+        self.dropout_aggregator = None
+        if self.config.client_dropout_prob > 0 and self.config.use_secure_aggregation:
+            from repro.secure.dropout import DropoutTolerantAggregator
+
+            self.dropout_aggregator = DropoutTolerantAggregator(threshold=2)
+        self._pmap = ParallelMap(self.config.parallel_backend)
+        self.strategy.init_run(self.model.num_params, fed.num_clients)
+        self.callbacks = list(callbacks or [])
+        #: optional update compressor / ErrorFeedback (repro.compression)
+        self.compressor = compressor
+        #: optional WallClockSimulator: records per-round simulated latency
+        #: into history.extra["wall_clock_s"]
+        self.wallclock = wallclock
+        if wallclock is not None:
+            self.history.extra["wall_clock_s"] = []
+        #: client_id -> Attack (model-poisoning transforms; repro.attacks)
+        self.attackers = dict(attackers or {})
+        #: groups sampled each round (feeds participation/fairness metrics)
+        self.sampled_history: list[list[Group]] = []
+        self.round_idx = 0
+
+    # ------------------------------------------------------------------ plumbing
+    def _effective_cost_model(self) -> CostModel:
+        """Fold the strategy's compute/payload factors into the cost model."""
+        cm = self.cost_model
+        t = cm.training
+        g = cm.group_op
+        tf = self.strategy.training_factor
+        pf = self.strategy.payload_factor
+        if tf == 1.0 and pf == 1:
+            return cm
+        return CostModel(
+            training=LinearCost(c0=t.c0 * tf, c1=t.c1 * tf),
+            group_op=QuadraticCost(c0=g.c0 * pf, c1=g.c1 * pf, c2=g.c2 * pf),
+            name=f"{cm.name}×{self.strategy.name}",
+        )
+
+    def _make_sampler(self) -> GroupSampler:
+        return GroupSampler(
+            self.groups,
+            method=self.config.sampling_method,
+            num_sampled=min(self.config.num_sampled, len(self.groups)),
+            mode=self.config.aggregation_mode,
+            min_prob=self.config.min_prob,
+            rng=self.rng.spawn(1)[0],
+        )
+
+    def _regroup(self) -> None:
+        """Re-run group formation (random seeds make new groupings differ)."""
+        assert self.grouper is not None and self.edge_assignment is not None
+        self.groups = group_clients_per_edge(
+            self.grouper, self.fed.L, self.edge_assignment, rng=self.rng.spawn(1)[0]
+        )
+        self.sampler = self._make_sampler()
+
+    # ------------------------------------------------------------------ training
+    def _run_one_group(
+        self, group: Group, rng: np.random.Generator, model: Model, optimizer: SGD
+    ) -> np.ndarray:
+        return run_group_round(
+            model,
+            optimizer,
+            group,
+            self.fed.clients,
+            self.global_params,
+            group_rounds=self.config.group_rounds,
+            local_rounds=self.config.local_rounds,
+            batch_size=self.config.batch_size,
+            rng=rng,
+            strategy=self.strategy,
+            step_mode=self.config.step_mode,
+            secure_aggregator=self.secure_aggregator,
+            backdoor_detector=self.backdoor_detector,
+            round_id=self.round_idx,
+            compressor=self.compressor,
+            dropout_prob=self.config.client_dropout_prob,
+            dropout_aggregator=self.dropout_aggregator,
+            update_transforms=self.attackers or None,
+        )
+
+    def train_round(self) -> float:
+        """Execute one global round (Lines 6–15); returns its cost."""
+        selected, weights = self.sampler.sample()
+        self.sampled_history.append(selected)
+        group_rngs = self.rng.spawn(len(selected))
+
+        # SCAFFOLD mutates shared control-variate state per client; run its
+        # groups serially regardless of the configured backend.
+        stateful = self.strategy.name == "scaffold"
+        if self._pmap.backend == "serial" or stateful:
+            group_models = [
+                self._run_one_group(g, r, self.model, self.optimizer)
+                for g, r in zip(selected, group_rngs)
+            ]
+        else:
+            def work(args):
+                group, grng = args
+                model = self.model_fn()
+                opt = SGD(
+                    model,
+                    lr=self.config.lr,
+                    momentum=self.config.momentum,
+                    weight_decay=self.config.weight_decay,
+                )
+                return self._run_one_group(group, grng, model, opt)
+
+            group_models = self._pmap.map(work, list(zip(selected, group_rngs)))
+
+        stacked = np.vstack(group_models)
+        normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
+        self.global_params = weighted_average(stacked, weights, normalize=normalize)
+        self.strategy.after_global_round()
+        cost = self.ledger.charge_round(
+            selected, self.config.group_rounds, self.config.local_rounds
+        )
+        if self.wallclock is not None:
+            timing = self.wallclock.round_timing(
+                selected,
+                self.ledger.client_sizes,
+                self.config.group_rounds,
+                self.config.local_rounds,
+            )
+            self.history.extra["wall_clock_s"].append(timing.total_s)
+        self.round_idx += 1
+        if (
+            self.config.regroup_every
+            and self.round_idx % self.config.regroup_every == 0
+        ):
+            self._regroup()
+        return cost
+
+    def evaluate(self) -> tuple[float, float]:
+        """(loss, accuracy) of the current global model on the test set."""
+        self.model.set_params(self.global_params)
+        return self.model.evaluate(self.fed.test.x, self.fed.test.y)
+
+    def run(
+        self,
+        max_rounds: int | None = None,
+        cost_budget: float | None = None,
+    ) -> TrainingHistory:
+        """Train until the round limit, cost budget, or a callback stops."""
+        max_rounds = max_rounds if max_rounds is not None else self.config.max_rounds
+        budget = cost_budget if cost_budget is not None else self.config.cost_budget
+        for cb in self.callbacks:
+            cb.on_train_start(self)
+        stopped = False
+        while self.round_idx < max_rounds and not stopped:
+            if budget is not None and self.ledger.total >= budget:
+                break
+            self.train_round()
+            if (
+                self.round_idx % self.config.eval_every == 0
+                or self.round_idx >= max_rounds
+            ):
+                loss, acc = self.evaluate()
+                self.history.record(self.round_idx, self.ledger.total, acc, loss)
+            for cb in self.callbacks:
+                if cb.on_round_end(self, self.round_idx):
+                    stopped = True
+        if not self.history.rounds or self.history.rounds[-1] != self.round_idx:
+            loss, acc = self.evaluate()
+            self.history.record(self.round_idx, self.ledger.total, acc, loss)
+        for cb in self.callbacks:
+            cb.on_train_end(self)
+        return self.history

@@ -1,0 +1,34 @@
+"""The Group-FEL cost model (§3.2, Eq. 5).
+
+Each client in a sampled group pays, per group round, a group-operation
+overhead ``O_g(|g|)`` (quadratic in group size — secure aggregation and
+backdoor detection both do pairwise work) plus ``E`` local-training passes
+``H_i(n_i)`` (linear in local data). Total learning cost:
+
+    O = Σ_t Σ_{g∈S_t} K · Σ_{c_i∈g} ( O_g(|g|) + E·H_i(n_i) )
+
+All evaluation in the paper (and here) is *accuracy versus this cost*, not
+accuracy versus round.
+"""
+
+from repro.costs.model import CostModel, LinearCost, QuadraticCost
+from repro.costs.calibration import (
+    PAPER_CALIBRATIONS,
+    fit_linear,
+    fit_quadratic,
+    paper_cost_model,
+)
+from repro.costs.ledger import CostLedger
+from repro.costs.rpi import RPiEmulator
+
+__all__ = [
+    "LinearCost",
+    "QuadraticCost",
+    "CostModel",
+    "fit_linear",
+    "fit_quadratic",
+    "PAPER_CALIBRATIONS",
+    "paper_cost_model",
+    "CostLedger",
+    "RPiEmulator",
+]

@@ -1,0 +1,105 @@
+"""Cost-curve fitting and the paper-scale calibrations (Fig. 8).
+
+``PAPER_CALIBRATIONS`` encodes the magnitudes read off the paper's
+Raspberry-Pi measurements (Fig. 8, units: seconds on an RPi 4):
+
+* CIFAR training reaches ~50 s at 50 samples (≈1 s/sample); the SC model is
+  the lightweight task (≈0.3 s/sample).
+* SecAgg and backdoor detection are quadratic in group size, with
+  SCAFFOLD's SecAgg the costliest (its payload is model + control variate,
+  2× the masking work) and backdoor detection the cheapest.
+
+Methods map to (training, group-op) pairs via :func:`paper_cost_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.model import CostModel, LinearCost, QuadraticCost
+
+__all__ = ["fit_linear", "fit_quadratic", "PAPER_CALIBRATIONS", "paper_cost_model"]
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> tuple[LinearCost, float]:
+    """Least-squares linear fit; returns (cost fn, R²)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 2:
+        raise ValueError("need at least 2 points for a linear fit")
+    c1, c0 = np.polyfit(x, y, 1)
+    return LinearCost(c0=float(c0), c1=float(c1)), _r_squared(y, c0 + c1 * x)
+
+
+def fit_quadratic(x: np.ndarray, y: np.ndarray) -> tuple[QuadraticCost, float]:
+    """Least-squares quadratic fit; returns (cost fn, R²)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size < 3:
+        raise ValueError("need at least 3 points for a quadratic fit")
+    c2, c1, c0 = np.polyfit(x, y, 2)
+    pred = c0 + c1 * x + c2 * x * x
+    return QuadraticCost(c0=float(c0), c1=float(c1), c2=float(c2)), _r_squared(y, pred)
+
+
+def _r_squared(y: np.ndarray, pred: np.ndarray) -> float:
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+#: Paper-scale constants (RPi-4 seconds), keyed by (task, component).
+PAPER_CALIBRATIONS: dict[tuple[str, str], LinearCost | QuadraticCost] = {
+    ("cifar", "training"): LinearCost(c0=0.5, c1=1.0),
+    ("sc", "training"): LinearCost(c0=0.3, c1=0.3),
+    ("cifar", "secagg"): QuadraticCost(c0=0.5, c1=0.1, c2=0.014),
+    ("sc", "secagg"): QuadraticCost(c0=0.4, c1=0.08, c2=0.010),
+    ("cifar", "scaffold_secagg"): QuadraticCost(c0=0.8, c1=0.16, c2=0.022),
+    ("sc", "scaffold_secagg"): QuadraticCost(c0=0.6, c1=0.13, c2=0.016),
+    ("cifar", "backdoor"): QuadraticCost(c0=0.3, c1=0.05, c2=0.006),
+    ("sc", "backdoor"): QuadraticCost(c0=0.2, c1=0.04, c2=0.004),
+}
+
+
+def paper_cost_model(
+    task: str = "cifar",
+    group_op: str = "secagg",
+    training_factor: float = 1.0,
+) -> CostModel:
+    """Build a CostModel from the paper-scale calibrations.
+
+    Parameters
+    ----------
+    task:
+        ``cifar`` (heavy) or ``sc`` (lightweight).
+    group_op:
+        ``secagg``, ``scaffold_secagg``, or ``backdoor``; or ``secagg+backdoor``
+        to stack both group operations.
+    training_factor:
+        Multiplier on the training cost — FedProx's proximal term adds
+        compute per pass (the paper: "FedProx and SCAFFOLD demand more
+        computation ... in each round").
+    """
+    try:
+        training = PAPER_CALIBRATIONS[(task, "training")]
+    except KeyError:
+        raise KeyError(f"unknown task {task!r}; known: cifar, sc") from None
+    ops = group_op.split("+")
+    c0 = c1 = c2 = 0.0
+    for op in ops:
+        try:
+            q = PAPER_CALIBRATIONS[(task, op)]
+        except KeyError:
+            raise KeyError(
+                f"unknown group op {op!r}; known: secagg, scaffold_secagg, backdoor"
+            ) from None
+        c0 += q.c0
+        c1 += q.c1
+        c2 += q.c2
+    assert isinstance(training, LinearCost)
+    scaled = LinearCost(c0=training.c0 * training_factor, c1=training.c1 * training_factor)
+    return CostModel(
+        training=scaled,
+        group_op=QuadraticCost(c0=c0, c1=c1, c2=c2),
+        name=f"{task}/{group_op}",
+    )

@@ -1,0 +1,55 @@
+"""Per-round cost accounting attached to a training run."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.grouping.base import Group
+
+__all__ = ["CostLedger"]
+
+
+class CostLedger:
+    """Accumulates Eq. (5) costs round by round.
+
+    The trainer calls :meth:`charge_round` with the sampled groups; the
+    ledger keeps both the running total and the per-round series, so
+    accuracy-vs-cost curves can be assembled after the fact.
+    """
+
+    def __init__(self, cost_model: CostModel, client_sizes: np.ndarray):
+        self.cost_model = cost_model
+        self.client_sizes = np.asarray(client_sizes, dtype=np.int64)
+        self.round_costs: list[float] = []
+
+    @property
+    def total(self) -> float:
+        """Cumulative cost so far (the paper's O up to the current round)."""
+        return float(sum(self.round_costs))
+
+    def cumulative(self) -> np.ndarray:
+        """Cumulative cost after each charged round."""
+        return np.cumsum(self.round_costs) if self.round_costs else np.empty(0)
+
+    def charge_round(
+        self, groups: list[Group], group_rounds: int, local_rounds: int
+    ) -> float:
+        """Charge one global round over the sampled groups; returns its cost."""
+        sizes = [g.size for g in groups]
+        per_group_client_sizes = [self.client_sizes[g.members] for g in groups]
+        cost = self.cost_model.global_round_cost(
+            sizes, per_group_client_sizes, group_rounds, local_rounds
+        )
+        self.round_costs.append(cost)
+        return cost
+
+    def estimate_round_cost(
+        self, groups: list[Group], group_rounds: int, local_rounds: int
+    ) -> float:
+        """Cost a round *would* add, without charging it (budget checks)."""
+        sizes = [g.size for g in groups]
+        per_group_client_sizes = [self.client_sizes[g.members] for g in groups]
+        return self.cost_model.global_round_cost(
+            sizes, per_group_client_sizes, group_rounds, local_rounds
+        )

@@ -1,0 +1,90 @@
+"""Cost-function primitives and the combined Eq. (5) model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearCost", "QuadraticCost", "CostModel"]
+
+
+@dataclass(frozen=True)
+class LinearCost:
+    """cost(n) = c0 + c1·n — the training cost H_i(n_i).
+
+    "Given the hardware, model, and training hyperparameters are fixed,
+    this cost is proportional to the data sample number" (§3.2); c0 covers
+    fixed per-pass overhead (batch setup, model load).
+    """
+
+    c0: float = 0.0
+    c1: float = 1.0
+
+    def __call__(self, n: np.ndarray | float) -> np.ndarray | float:
+        return self.c0 + self.c1 * np.asarray(n, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class QuadraticCost:
+    """cost(s) = c0 + c1·s + c2·s² — the group overhead O_g(|g|) per client.
+
+    Pairwise protocols (SecAgg mask agreement, FLAME distance matrices) do
+    Θ(s) work *per client* for setup plus Θ(s) pairwise interactions whose
+    per-interaction cost grows with s — measured per client the total is
+    quadratic in s (§3.2, citing Bonawitz et al. and FLAME).
+    """
+
+    c0: float = 0.0
+    c1: float = 0.0
+    c2: float = 1.0
+
+    def __call__(self, s: np.ndarray | float) -> np.ndarray | float:
+        s = np.asarray(s, dtype=np.float64)
+        return self.c0 + self.c1 * s + self.c2 * s * s
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Combined Group-FEL cost model.
+
+    Attributes
+    ----------
+    training:
+        H(n) — one full pass over n local samples.
+    group_op:
+        O(s) — per-client group-operation overhead for a group of size s.
+    name:
+        Calibration label (e.g. ``cifar/secagg``).
+    """
+
+    training: LinearCost
+    group_op: QuadraticCost
+    name: str = "unit"
+
+    def client_round_cost(self, group_size: int, n_i: int, local_rounds: int) -> float:
+        """One client's cost for one group round: O_g(|g|) + E·H_i(n_i)."""
+        return float(self.group_op(group_size) + local_rounds * self.training(n_i))
+
+    def group_round_cost(
+        self, group_size: int, client_sizes: np.ndarray, local_rounds: int
+    ) -> float:
+        """All clients of one group, one group round: Σ_i (O_g + E·H_i)."""
+        client_sizes = np.asarray(client_sizes, dtype=np.float64)
+        return float(
+            group_size * self.group_op(group_size)
+            + local_rounds * self.training(client_sizes).sum()
+        )
+
+    def global_round_cost(
+        self,
+        group_sizes: list[int] | np.ndarray,
+        client_sizes_per_group: list[np.ndarray],
+        group_rounds: int,
+        local_rounds: int,
+    ) -> float:
+        """Eq. (5) inner sum for one global round t over the sampled S_t."""
+        total = 0.0
+        for size, sizes in zip(group_sizes, client_sizes_per_group):
+            total += self.group_round_cost(int(size), sizes, local_rounds)
+        return group_rounds * total

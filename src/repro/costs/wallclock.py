@@ -1,0 +1,123 @@
+"""Wall-clock simulation of a Group-FEL round over the hierarchy.
+
+Eq. (5) measures total resource cost; this module answers the complementary
+systems question — how long a round *takes* — by combining per-client
+compute time (cost model × the client's ``compute_factor``) with link
+transfer times from the communication model, under the parallelism
+structure of Algorithm 1: groups run in parallel, clients within a group
+compute in parallel but serialize on the edge uplink, and group rounds are
+sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costs.model import CostModel
+from repro.grouping.base import Group
+from repro.topology.comm import CommModel
+from repro.topology.network import HierarchicalTopology
+
+__all__ = ["RoundTiming", "WallClockSimulator"]
+
+
+@dataclass
+class RoundTiming:
+    """Timing breakdown for one global round."""
+
+    compute_s: float  # slowest group's total compute time
+    comm_s: float  # slowest group's total communication time
+    total_s: float  # slowest group's compute+comm pipeline
+    per_group_s: dict  # group_id -> its pipeline time
+
+    @property
+    def bottleneck_group(self) -> int:
+        """Group id of the straggler group this round."""
+        return max(self.per_group_s, key=self.per_group_s.get)
+
+
+class WallClockSimulator:
+    """Simulate round latency for sampled groups.
+
+    Parameters
+    ----------
+    topology / cost_model / comm_model:
+        The hierarchy (with per-client compute factors), the Eq. (5) cost
+        calibration interpreted as *seconds on the reference device*, and
+        the link-level communication model.
+    """
+
+    def __init__(
+        self,
+        topology: HierarchicalTopology,
+        cost_model: CostModel,
+        comm_model: CommModel,
+    ):
+        self.topology = topology
+        self.cost_model = cost_model
+        self.comm_model = comm_model
+
+    def client_compute_s(self, client_id: int, group_size: int, n_i: int,
+                         local_rounds: int) -> float:
+        """One client's compute seconds for one group round."""
+        factor = self.topology.clients[client_id].compute_factor
+        return factor * self.cost_model.client_round_cost(group_size, n_i, local_rounds)
+
+    def round_timing(
+        self,
+        groups: list[Group],
+        client_sizes: np.ndarray,
+        group_rounds: int,
+        local_rounds: int,
+    ) -> RoundTiming:
+        """Simulate one global round's wall clock over the sampled groups."""
+        ce = self.topology.client_edge
+        ec = self.topology.edge_cloud
+        up = self.comm_model.model_bytes * self.comm_model.payload_factor
+        down = self.comm_model.model_bytes
+
+        per_group: dict[int, float] = {}
+        worst_compute = worst_comm = 0.0
+        for g in groups:
+            # Per group round: all clients compute in parallel (slowest
+            # wins), then uploads serialize on the edge uplink, then the
+            # group model is broadcast back.
+            compute_each = np.array([
+                self.client_compute_s(int(c), g.size, int(client_sizes[c]), local_rounds)
+                for c in g.members
+            ])
+            compute_round = float(compute_each.max())
+            comm_round = g.size * ce.transfer_time(up) + ce.transfer_time(down)
+            t_download = ec.transfer_time(down) + ce.transfer_time(down)
+            t_upload = ec.transfer_time(up)
+            total = (
+                t_download
+                + group_rounds * (compute_round + comm_round)
+                + t_upload
+            )
+            per_group[g.group_id] = total
+            worst_compute = max(worst_compute, group_rounds * compute_round)
+            worst_comm = max(worst_comm, group_rounds * comm_round + t_download + t_upload)
+        return RoundTiming(
+            compute_s=worst_compute,
+            comm_s=worst_comm,
+            total_s=max(per_group.values()) if per_group else 0.0,
+            per_group_s=per_group,
+        )
+
+    def training_time_s(
+        self,
+        per_round_groups: list[list[Group]],
+        client_sizes: np.ndarray,
+        group_rounds: int,
+        local_rounds: int,
+    ) -> float:
+        """Total wall clock over a sequence of rounds (rounds are serial)."""
+        return float(
+            sum(
+                self.round_timing(groups, client_sizes, group_rounds, local_rounds).total_s
+                for groups in per_round_groups
+            )
+        )

@@ -1,0 +1,120 @@
+"""Per-client dataset containers and the federated dataset bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.data.partition import label_matrix, partition_dataset
+from repro.rng import make_rng, spawn_many
+
+__all__ = ["ClientDataset", "FederatedDataset"]
+
+
+@dataclass
+class ClientDataset:
+    """One client's local shard plus its label statistics.
+
+    ``label_counts`` is the client's row of the label matrix L — the only
+    information grouping algorithms are allowed to see (§5.1: "without any
+    information of their local data, model, nor gradient").
+    """
+
+    client_id: int
+    x: np.ndarray
+    y: np.ndarray
+    label_counts: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of local samples (the paper's n_i)."""
+        return self.x.shape[0]
+
+    def batches(
+        self, batch_size: int, rng: np.random.Generator | int | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Shuffled minibatches covering the shard once."""
+        rng = make_rng(rng)
+        order = rng.permutation(self.n)
+        for start in range(0, self.n, batch_size):
+            idx = order[start : start + batch_size]
+            yield self.x[idx], self.y[idx]
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One random minibatch ξ (with replacement if shard is smaller)."""
+        rng = make_rng(rng)
+        replace = self.n < batch_size
+        idx = rng.choice(self.n, size=min(batch_size, self.n) if not replace else batch_size,
+                         replace=replace)
+        return self.x[idx], self.y[idx]
+
+
+class FederatedDataset:
+    """The full federated learning data bundle.
+
+    Holds the global train/test arrays, the per-client shards, and the label
+    matrix L. Built either from explicit shards or via the one-call paper
+    setup (:meth:`from_dataset`).
+    """
+
+    def __init__(
+        self,
+        train: ArrayDataset,
+        test: ArrayDataset,
+        shards: list[np.ndarray],
+    ):
+        self.train = train
+        self.test = test
+        self.shards = [np.asarray(s, dtype=np.int64) for s in shards]
+        self.num_classes = train.num_classes
+        self.L = label_matrix(self.shards, train.y, train.num_classes)
+        self.clients = [
+            ClientDataset(
+                client_id=i,
+                x=train.x[shard],
+                y=train.y[shard],
+                label_counts=self.L[i],
+            )
+            for i, shard in enumerate(self.shards)
+        ]
+
+    @classmethod
+    def from_dataset(
+        cls,
+        train: ArrayDataset,
+        test: ArrayDataset,
+        num_clients: int,
+        alpha: float,
+        size_low: int = 20,
+        size_high: int = 200,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FederatedDataset":
+        """Paper setup: normal client sizes + Dirichlet(α) label skew."""
+        shards, _ = partition_dataset(
+            train, num_clients, alpha, size_low=size_low, size_high=size_high, rng=rng
+        )
+        return cls(train, test, shards)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def client_sizes(self) -> np.ndarray:
+        """n_i for every client."""
+        return np.array([c.n for c in self.clients], dtype=np.int64)
+
+    @property
+    def total_samples(self) -> int:
+        """The paper's n = Σ n_i."""
+        return int(self.client_sizes().sum())
+
+    def global_label_distribution(self) -> np.ndarray:
+        """Fraction of each label across all client shards."""
+        totals = self.L.sum(axis=0).astype(np.float64)
+        s = totals.sum()
+        return totals / s if s > 0 else totals

@@ -1,0 +1,160 @@
+"""Non-IID federated partitioning (Dirichlet label skew, Hsu et al. 2019).
+
+The paper's setup (§7.2): data split across 300 clients with 20–200 samples
+each (normal distribution), per-client label mix drawn from Dirichlet(α) —
+smaller α means more skewed clients. This module produces index partitions
+plus the label matrix ``L`` (clients × classes) that every grouping
+algorithm consumes (grouping never sees raw data — §5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.rng import make_rng
+
+__all__ = [
+    "normal_client_sizes",
+    "dirichlet_partition",
+    "label_matrix",
+    "partition_dataset",
+]
+
+
+def normal_client_sizes(
+    num_clients: int,
+    low: int = 20,
+    high: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Per-client sample counts ~ Normal centered on [low, high], clipped.
+
+    Matches the paper's "20 to 200 (normal distribution)" client sizes:
+    mean at the midpoint, std chosen so ±2σ spans the range.
+    """
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive, got {num_clients}")
+    if not 0 < low <= high:
+        raise ValueError(f"invalid size range [{low}, {high}]")
+    rng = make_rng(rng)
+    mean = (low + high) / 2.0
+    std = (high - low) / 4.0
+    sizes = rng.normal(mean, std, size=num_clients)
+    return np.clip(np.rint(sizes), low, high).astype(np.int64)
+
+
+def dirichlet_partition(
+    labels: np.ndarray,
+    num_clients: int,
+    alpha: float,
+    client_sizes: np.ndarray | None = None,
+    num_classes: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> list[np.ndarray]:
+    """Partition sample indices into non-IID client shards.
+
+    Each client draws a label distribution ``q_i ~ Dirichlet(α·1_m)`` and
+    fills its quota by sampling labels from ``q_i``, taking actual sample
+    indices from per-class pools. When a desired class pool runs dry the
+    draw falls back to the remaining classes (renormalized), so client
+    sizes are met exactly as long as enough samples exist overall.
+
+    Returns a list of index arrays, one per client (disjoint).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = make_rng(rng)
+    m = int(num_classes if num_classes is not None else labels.max() + 1)
+    if client_sizes is None:
+        base = labels.size // num_clients
+        client_sizes = np.full(num_clients, base, dtype=np.int64)
+    client_sizes = np.asarray(client_sizes, dtype=np.int64)
+    if client_sizes.shape != (num_clients,):
+        raise ValueError(
+            f"client_sizes shape {client_sizes.shape} != ({num_clients},)"
+        )
+    total_needed = int(client_sizes.sum())
+    if total_needed > labels.size:
+        raise ValueError(
+            f"clients need {total_needed} samples but dataset has {labels.size}"
+        )
+
+    # Shuffled per-class index pools, consumed from the tail (O(1) pops).
+    pools: list[list[int]] = []
+    for c in range(m):
+        idx = np.flatnonzero(labels == c)
+        rng.shuffle(idx)
+        pools.append(list(idx))
+
+    shards: list[np.ndarray] = []
+    for i in range(num_clients):
+        size = int(client_sizes[i])
+        proportions = rng.dirichlet(np.full(m, alpha))
+        # Draw the client's label multiset in one multinomial, then repair
+        # class-by-class against pool availability.
+        want = rng.multinomial(size, proportions)
+        take = np.minimum(want, [len(p) for p in pools])
+        shortfall = size - int(take.sum())
+        if shortfall > 0:
+            avail = np.array([len(p) for p in pools]) - take
+            # Refill from classes with leftovers, weighted by availability.
+            while shortfall > 0:
+                total_avail = avail.sum()
+                if total_avail <= 0:
+                    raise RuntimeError("exhausted all class pools (should not happen)")
+                probs = avail / total_avail
+                extra = rng.multinomial(shortfall, probs)
+                extra = np.minimum(extra, avail)
+                take += extra
+                avail -= extra
+                shortfall = size - int(take.sum())
+        chosen: list[int] = []
+        for c in range(m):
+            k = int(take[c])
+            if k:
+                chosen.extend(pools[c][-k:])
+                del pools[c][-k:]
+        shard = np.array(chosen, dtype=np.int64)
+        rng.shuffle(shard)
+        shards.append(shard)
+    return shards
+
+
+def label_matrix(
+    shards: list[np.ndarray], labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """The paper's matrix ``L``: ``L[i, j]`` = #samples of class j on client i."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((len(shards), num_classes), dtype=np.int64)
+    for i, shard in enumerate(shards):
+        out[i] = np.bincount(labels[shard], minlength=num_classes)
+    return out
+
+
+def partition_dataset(
+    dataset: ArrayDataset,
+    num_clients: int,
+    alpha: float,
+    size_low: int = 20,
+    size_high: int = 200,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """One-call paper setup: normal sizes + Dirichlet skew.
+
+    Returns (shards, label_matrix).
+    """
+    rng = make_rng(rng)
+    sizes = normal_client_sizes(num_clients, size_low, size_high, rng)
+    # Scale sizes down proportionally if the dataset is too small (keeps the
+    # relative dispersion that γ depends on).
+    total = int(sizes.sum())
+    if total > len(dataset):
+        scale = len(dataset) / total
+        sizes = np.maximum(1, np.floor(sizes * scale)).astype(np.int64)
+    shards = dirichlet_partition(
+        dataset.y, num_clients, alpha, client_sizes=sizes,
+        num_classes=dataset.num_classes, rng=rng,
+    )
+    return shards, label_matrix(shards, dataset.y, dataset.num_classes)

@@ -1,0 +1,62 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Every evaluation artifact of the paper has a function here that regenerates
+its rows/series (see DESIGN.md's per-experiment index). Each accepts a
+``scale`` — ``"fast"`` (minutes, CI-friendly; the benchmark default) or
+``"paper"`` (full §7 workloads) — that changes only workload sizes, never
+the algorithms.
+"""
+
+from repro.experiments.configs import (
+    SCALES,
+    ExperimentScale,
+    get_scale,
+    make_audio_workload,
+    make_image_workload,
+)
+from repro.experiments.multiseed import (
+    aggregate_histories,
+    load_result,
+    run_method_multiseed,
+    save_result,
+)
+from repro.experiments.runner import run_method, run_methods
+from repro.experiments.figures import (
+    fig2a_group_overheads,
+    fig2b_group_size,
+    fig5_grouping_runtime,
+    fig6_cov_vs_overhead,
+    fig7_sampling_methods,
+    fig8_rpi_measurement,
+    fig9_fig10_all_methods_cifar,
+    fig11_all_methods_sc,
+    fig12_grouping_x_sampling,
+)
+from repro.experiments.tables import table1_maxcov_alpha
+from repro.experiments.report import format_series, format_table
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "make_image_workload",
+    "make_audio_workload",
+    "run_method",
+    "run_methods",
+    "run_method_multiseed",
+    "aggregate_histories",
+    "save_result",
+    "load_result",
+    "fig2a_group_overheads",
+    "fig2b_group_size",
+    "fig5_grouping_runtime",
+    "fig6_cov_vs_overhead",
+    "fig7_sampling_methods",
+    "fig8_rpi_measurement",
+    "fig9_fig10_all_methods_cifar",
+    "fig11_all_methods_sc",
+    "fig12_grouping_x_sampling",
+    "table1_maxcov_alpha",
+    "format_series",
+    "format_table",
+]

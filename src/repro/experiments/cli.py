@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.experiments fig9 --scale fast --seed 0
+    python -m repro.experiments table1 --scale paper
+    python -m repro.experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.figures import (
+    fig2a_group_overheads,
+    fig2b_group_size,
+    fig5_grouping_runtime,
+    fig6_cov_vs_overhead,
+    fig7_sampling_methods,
+    fig8_rpi_measurement,
+    fig9_fig10_all_methods_cifar,
+    fig11_all_methods_sc,
+    fig12_grouping_x_sampling,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.tables import table1_maxcov_alpha
+
+__all__ = ["main", "GENERATORS"]
+
+#: name -> (generator, takes_seed, (x_key, y_key) for series printing)
+GENERATORS = {
+    "fig2a": (fig2a_group_overheads, False, ("x", "seconds")),
+    "fig2b": (fig2b_group_size, True, ("cost", "accuracy")),
+    "fig5": (fig5_grouping_runtime, True, ("clients", "seconds")),
+    "fig6": (fig6_cov_vs_overhead, True, ("avg_overhead", "avg_cov")),
+    "fig7": (fig7_sampling_methods, True, ("cost", "accuracy")),
+    "fig8": (fig8_rpi_measurement, False, ("x", "seconds")),
+    "fig9": (fig9_fig10_all_methods_cifar, True, ("round", "accuracy")),
+    "fig10": (fig9_fig10_all_methods_cifar, True, ("cost", "accuracy")),
+    "fig11": (fig11_all_methods_sc, True, ("cost", "accuracy")),
+    "fig12": (fig12_grouping_x_sampling, True, ("cost", "accuracy")),
+    "table1": (table1_maxcov_alpha, True, None),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure/table from the Group-FEL paper.",
+    )
+    parser.add_argument("target", help="fig2a|fig2b|fig5|...|table1, or 'list'")
+    parser.add_argument("--scale", default=None, help="fast (default) or paper")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true", help="emit raw JSON")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name in GENERATORS:
+            print(name)
+        return 0
+    try:
+        fn, takes_seed, keys = GENERATORS[args.target]
+    except KeyError:
+        print(f"unknown target {args.target!r}; run 'list' to see options",
+              file=sys.stderr)
+        return 2
+
+    result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
+    if args.json:
+        print(json.dumps(result, default=float, indent=1))
+        return 0
+    if "rows" in result:
+        print(format_table(result["rows"], title=f"Table {result.get('table', '')}"))
+    else:
+        x_key, y_key = keys
+        print(format_series(result["series"], x_key, y_key,
+                            title=f"Figure {result.get('figure', '')}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

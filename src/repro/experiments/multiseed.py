@@ -1,0 +1,89 @@
+"""Multi-seed experiment aggregation and result persistence.
+
+Single-seed curves at the fast scale carry ≈ 2 accuracy points of noise
+(EXPERIMENTS.md); these helpers run a method across seeds, aggregate the
+curves onto a shared cost grid (mean ± std), and save/load result payloads
+as JSON so long runs survive the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.experiments.configs import Workload
+from repro.experiments.runner import run_method
+from repro.metrics.history import TrainingHistory, accuracy_at_cost
+
+__all__ = [
+    "aggregate_histories",
+    "run_method_multiseed",
+    "save_result",
+    "load_result",
+]
+
+
+def aggregate_histories(
+    histories: list[TrainingHistory], num_grid: int = 25
+) -> dict:
+    """Mean ± std accuracy over a shared cost grid.
+
+    Each history is evaluated with :func:`accuracy_at_cost` (best accuracy
+    within budget — a monotone staircase), so curves with different
+    checkpoint costs are comparable.
+    """
+    if not histories:
+        raise ValueError("need at least one history")
+    max_cost = min(h.total_cost for h in histories)
+    if max_cost <= 0:
+        raise ValueError("histories carry no cost information")
+    grid = np.linspace(max_cost / num_grid, max_cost, num_grid)
+    curves = np.empty((len(histories), num_grid))
+    for i, h in enumerate(histories):
+        costs = np.asarray(h.costs)
+        accs = np.asarray(h.test_acc)
+        curves[i] = [accuracy_at_cost(costs, accs, b) for b in grid]
+    return {
+        "cost": grid.tolist(),
+        "acc_mean": curves.mean(axis=0).tolist(),
+        "acc_std": curves.std(axis=0).tolist(),
+        "seeds": len(histories),
+        "final_mean": float(np.mean([h.final_accuracy for h in histories])),
+        "final_std": float(np.std([h.final_accuracy for h in histories])),
+    }
+
+
+def run_method_multiseed(
+    name: str,
+    workload_factory,
+    seeds: list[int],
+    **run_kwargs,
+) -> dict:
+    """Run a named method over several seeds and aggregate.
+
+    ``workload_factory(seed)`` must build a fresh workload per seed (data,
+    partition, and grouping all re-randomized).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    histories = []
+    for seed in seeds:
+        workload = workload_factory(seed)
+        histories.append(run_method(name, workload, **run_kwargs))
+    agg = aggregate_histories(histories)
+    agg["method"] = name
+    return agg
+
+
+def save_result(result: dict, path: str | os.PathLike) -> None:
+    """Persist an experiment payload (figures dict or aggregate) as JSON."""
+    with open(path, "w") as fh:
+        json.dump(result, fh, default=float, indent=1)
+
+
+def load_result(path: str | os.PathLike) -> dict:
+    """Load a payload written by :func:`save_result`."""
+    with open(path) as fh:
+        return json.load(fh)

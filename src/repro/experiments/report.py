@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment outputs (the paper's rows/series)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(rows: list[dict], title: str = "") -> str:
+    """Render a list of uniform dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    headers = list(rows[0].keys())
+    cells = [[_fmt(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: dict, x_key: str, y_key: str, title: str = "") -> str:
+    """Render label → {x: [...], y: [...]} curves as aligned columns."""
+    lines = [title] if title else []
+    for label, data in series.items():
+        xs = data.get(x_key, [])
+        ys = data.get(y_key, [])
+        pts = "  ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+        lines.append(f"{label:>14s}: {pts}")
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float) or isinstance(v, np.floating):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)

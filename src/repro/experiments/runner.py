@@ -1,0 +1,82 @@
+"""Run named methods (or custom grouping×sampling combos) over a workload."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.baselines.registry import build_method
+from repro.core.strategies import PlainSGDStrategy
+from repro.core.trainer import GroupFELTrainer, TrainerConfig
+from repro.experiments.configs import Workload
+from repro.grouping import Grouper, group_clients_per_edge
+from repro.metrics.history import TrainingHistory
+from repro.rng import derive_seed
+
+__all__ = ["run_method", "run_methods", "run_combo"]
+
+
+def run_method(
+    name: str,
+    workload: Workload,
+    max_rounds: int | None = None,
+    cost_budget: float | None = None,
+    group_size_knob: int | None = None,
+    max_cov: float | None = None,
+) -> TrainingHistory:
+    """Run one named method (see ``repro.baselines.METHODS``) to completion."""
+    s = workload.scale
+    trainer = build_method(
+        name,
+        workload.model_fn,
+        workload.fed,
+        workload.edge_assignment,
+        workload.trainer_config,
+        cost_model=workload.cost_model,
+        group_size_knob=group_size_knob if group_size_knob is not None else s.min_group_size,
+        max_cov=max_cov if max_cov is not None else s.max_cov,
+        rng=derive_seed(workload.seed, "grouping", name),
+    )
+    return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
+
+
+def run_methods(
+    names: list[str],
+    workload: Workload,
+    max_rounds: int | None = None,
+    cost_budget: float | None = None,
+) -> dict[str, TrainingHistory]:
+    """Run several methods over the same workload (same data, same budget)."""
+    return {
+        name: run_method(name, workload, max_rounds=max_rounds, cost_budget=cost_budget)
+        for name in names
+    }
+
+
+def run_combo(
+    grouper: Grouper,
+    sampling_method: str,
+    workload: Workload,
+    label: str,
+    max_rounds: int | None = None,
+    cost_budget: float | None = None,
+) -> TrainingHistory:
+    """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
+    groups = group_clients_per_edge(
+        grouper,
+        workload.fed.L,
+        workload.edge_assignment,
+        rng=derive_seed(workload.seed, "grouping", label),
+    )
+    cfg = replace(workload.trainer_config, sampling_method=sampling_method)
+    trainer = GroupFELTrainer(
+        workload.model_fn,
+        workload.fed,
+        groups,
+        cfg,
+        cost_model=workload.cost_model,
+        strategy=PlainSGDStrategy(),
+        label=label,
+    )
+    return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)

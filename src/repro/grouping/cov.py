@@ -1,0 +1,116 @@
+"""Coefficient-of-variation statistics over group label counts (§5.1).
+
+For a group g with per-class sample counts ``c_j`` (j = 1..m, n_g = Σc_j):
+
+* mean        μ(g) = n_g / m
+* std-dev     σ(g) = sqrt( Σ_j (c_j − μ)² / m )          (paper Eq. 28)
+* CoV         CoV(g) = σ(g) / μ(g)                        (canonical)
+
+The paper's printed Eq. (27) reads ``sqrt(Σ_j (n_g/m − c_j)² / n_g)`` which
+is not exactly σ/μ given Eq. (28) — a typesetting slip mixing the ``m`` and
+``n_g`` denominators. We expose both: :func:`cov_of_counts` (canonical, used
+everywhere) and :func:`cov_paper_eq27` (the literal formula). For fixed
+``n_g`` and ``m`` they are monotonic transforms of each other
+(eq27 = CoV · n_g / (m·sqrt(n_g)) · ... — both are scaled L2 deviations), so
+greedy grouping decisions within a candidate scan agree.
+
+All functions are vectorized over a leading batch axis so the grouping
+algorithms can score *every remaining candidate client at once*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigma_mu",
+    "cov_of_counts",
+    "cov_paper_eq27",
+    "group_cov",
+    "kl_divergence",
+]
+
+
+def _as_count_matrix(counts: np.ndarray) -> np.ndarray:
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim == 1:
+        counts = counts[None, :]
+    if counts.ndim != 2:
+        raise ValueError(f"counts must be 1-D or 2-D, got shape {counts.shape}")
+    return counts
+
+
+def sigma_mu(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(σ, μ) of per-class counts; vectorized over rows.
+
+    μ = n_g/m, σ = sqrt(Σ(c_j − μ)²/m) — the paper's Eq. (28).
+    """
+    c = _as_count_matrix(counts)
+    m = c.shape[1]
+    mu = c.sum(axis=1) / m
+    sigma = np.sqrt(((c - mu[:, None]) ** 2).sum(axis=1) / m)
+    return sigma, mu
+
+
+def cov_of_counts(counts: np.ndarray) -> np.ndarray | float:
+    """Canonical CoV(g) = σ(g)/μ(g); 0 for a perfectly balanced group.
+
+    An all-zero count vector (empty group) returns ``inf`` — an empty group
+    is maximally unlike the (assumed balanced) global distribution.
+    """
+    c = _as_count_matrix(counts)
+    sigma, mu = sigma_mu(c)
+    out = np.full(c.shape[0], np.inf)
+    nz = mu > 0
+    out[nz] = sigma[nz] / mu[nz]
+    if np.asarray(counts).ndim == 1:
+        return float(out[0])
+    return out
+
+
+def cov_paper_eq27(counts: np.ndarray) -> np.ndarray | float:
+    """The literal printed Eq. (27): sqrt( Σ_j (n_g/m − c_j)² / n_g )."""
+    c = _as_count_matrix(counts)
+    m = c.shape[1]
+    n_g = c.sum(axis=1)
+    mu = n_g / m
+    ss = ((mu[:, None] - c) ** 2).sum(axis=1)
+    out = np.full(c.shape[0], np.inf)
+    nz = n_g > 0
+    out[nz] = np.sqrt(ss[nz] / n_g[nz])
+    if np.asarray(counts).ndim == 1:
+        return float(out[0])
+    return out
+
+
+def group_cov(
+    label_matrix: np.ndarray, members: np.ndarray | list[int]
+) -> float:
+    """CoV of the group formed by rows ``members`` of the label matrix L."""
+    members = np.asarray(members, dtype=np.int64)
+    counts = label_matrix[members].sum(axis=0)
+    return float(cov_of_counts(counts))
+
+
+def kl_divergence(
+    counts: np.ndarray, reference: np.ndarray | None = None, eps: float = 1e-12
+) -> np.ndarray | float:
+    """KL(group distribution ‖ reference distribution), vectorized over rows.
+
+    ``reference`` defaults to the uniform distribution (the paper assumes
+    globally balanced data). Zero-count classes are smoothed by ``eps``.
+    Used by the SHARE/KLDG baseline.
+    """
+    c = _as_count_matrix(counts)
+    m = c.shape[1]
+    p = c + eps
+    p = p / p.sum(axis=1, keepdims=True)
+    if reference is None:
+        q = np.full(m, 1.0 / m)
+    else:
+        q = np.asarray(reference, dtype=np.float64) + eps
+        q = q / q.sum()
+    out = (p * np.log(p / q)).sum(axis=1)
+    if np.asarray(counts).ndim == 1:
+        return float(out[0])
+    return out

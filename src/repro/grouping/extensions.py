@@ -1,0 +1,185 @@
+"""Grouping extensions beyond the paper's Algorithm 2.
+
+Two pieces the paper points at but does not build:
+
+* :class:`CoVGammaGrouping` — the conclusion's future-work item: also
+  control γ, the dispersion of *data amounts* within a group (Theorem 1's
+  third key observation: γ − 1 is the squared CoV of client sample counts).
+  The greedy criterion becomes a weighted sum of the label CoV and the
+  data-count CoV.
+* :func:`exhaustive_optimal_grouping` — exact minimum-ΣCoV partition by
+  brute force, feasible only for tiny client sets. Used by the test suite
+  to measure CoV-Grouping's greedy optimality gap, and by anyone studying
+  the grouping objective itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.grouping.base import Group, Grouper
+from repro.grouping.cov import cov_of_counts
+from repro.rng import make_rng
+
+__all__ = ["CoVGammaGrouping", "exhaustive_optimal_grouping", "sum_cov_objective"]
+
+
+class CoVGammaGrouping(Grouper):
+    """Greedy grouping on ``CoV_labels + gamma_weight · CoV_counts``.
+
+    ``CoV_counts`` is the coefficient of variation of the member clients'
+    data sample counts — driving it down drives γ → 1 (Eq. 11), which
+    Theorem 1 rewards on top of small ζ_g.
+
+    Parameters
+    ----------
+    min_group_size / max_score:
+        The same floor/threshold pattern as Algorithm 2, applied to the
+        combined score.
+    gamma_weight:
+        Relative weight of the data-count CoV (0 recovers CoV-Grouping).
+    """
+
+    name = "covg_gamma"
+
+    def __init__(
+        self,
+        min_group_size: int = 5,
+        max_score: float = 0.5,
+        gamma_weight: float = 0.5,
+    ):
+        if min_group_size < 1:
+            raise ValueError(f"min_group_size must be >= 1, got {min_group_size}")
+        if max_score < 0:
+            raise ValueError(f"max_score must be >= 0, got {max_score}")
+        if gamma_weight < 0:
+            raise ValueError(f"gamma_weight must be >= 0, got {gamma_weight}")
+        self.min_group_size = int(min_group_size)
+        self.max_score = float(max_score)
+        self.gamma_weight = float(gamma_weight)
+
+    def _scores(
+        self,
+        counts: np.ndarray,
+        sizes_sum: np.ndarray,
+        sizes_sumsq: np.ndarray,
+        k: int,
+    ) -> np.ndarray:
+        """Vectorized combined score for candidate groups.
+
+        ``counts`` are candidate label-count rows; ``sizes_sum`` and
+        ``sizes_sumsq`` the candidate groups' Σn_i and Σn_i² (so the count
+        CoV comes from running moments — no per-candidate member scans).
+        """
+        label_cov = np.atleast_1d(cov_of_counts(counts))
+        mean = sizes_sum / k
+        var = np.maximum(sizes_sumsq / k - mean**2, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            count_cov = np.where(mean > 0, np.sqrt(var) / mean, np.inf)
+        return label_cov + self.gamma_weight * count_cov
+
+    def group(
+        self,
+        label_matrix: np.ndarray,
+        client_ids: np.ndarray,
+        edge_id: int = 0,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[Group]:
+        rng = make_rng(rng)
+        L = np.asarray(label_matrix, dtype=np.float64)
+        n = L.shape[0]
+        client_ids = np.asarray(client_ids, dtype=np.int64)
+        n_i = L.sum(axis=1)
+
+        remaining = np.arange(n)
+        partitions: list[list[int]] = []
+        while remaining.size > 0:
+            pick = int(rng.integers(remaining.size))
+            seed = int(remaining[pick])
+            remaining = np.delete(remaining, pick)
+            members = [seed]
+            counts = L[seed].copy()
+            s_sum, s_sumsq = n_i[seed], n_i[seed] ** 2
+            score = float(
+                self._scores(counts[None, :], np.array([s_sum]),
+                             np.array([s_sumsq]), 1)[0]
+            )
+            while (score > self.max_score or len(members) < self.min_group_size) and remaining.size:
+                cand_counts = counts[None, :] + L[remaining]
+                cand_sum = s_sum + n_i[remaining]
+                cand_sumsq = s_sumsq + n_i[remaining] ** 2
+                cand_scores = self._scores(
+                    cand_counts, cand_sum, cand_sumsq, len(members) + 1
+                )
+                best = int(np.argmin(cand_scores))
+                best_score = float(cand_scores[best])
+                if best_score < score or len(members) < self.min_group_size:
+                    chosen = int(remaining[best])
+                    members.append(chosen)
+                    counts += L[chosen]
+                    s_sum += n_i[chosen]
+                    s_sumsq += n_i[chosen] ** 2
+                    score = best_score
+                    remaining = np.delete(remaining, best)
+                else:
+                    break
+            partitions.append(members)
+        return self._build_groups(partitions, L, client_ids, edge_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoVGammaGrouping(min_group_size={self.min_group_size}, "
+            f"max_score={self.max_score}, gamma_weight={self.gamma_weight})"
+        )
+
+
+def sum_cov_objective(L: np.ndarray, partition: list[list[int]]) -> float:
+    """Σ_g CoV(g) — the objective of the §5.2 optimization problem."""
+    total = 0.0
+    for members in partition:
+        counts = np.asarray(L, dtype=np.float64)[list(members)].sum(axis=0)
+        total += float(cov_of_counts(counts))
+    return total
+
+
+def _partitions_into_groups(items: list[int], group_size: int):
+    """Yield all partitions of ``items`` into groups of exactly group_size.
+
+    Canonical recursion: the first remaining item always joins the next
+    group, avoiding duplicate orderings.
+    """
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for combo in itertools.combinations(rest, group_size - 1):
+        group = [first, *combo]
+        remaining = [x for x in rest if x not in combo]
+        for tail in _partitions_into_groups(remaining, group_size):
+            yield [group, *tail]
+
+
+def exhaustive_optimal_grouping(
+    label_matrix: np.ndarray, group_size: int, max_clients: int = 12
+) -> tuple[list[list[int]], float]:
+    """Exact minimizer of Σ CoV over equal-size partitions (tiny inputs).
+
+    Raises on more than ``max_clients`` clients (the partition count grows
+    super-exponentially) or when the client count is not divisible by
+    ``group_size``.
+    """
+    L = np.asarray(label_matrix, dtype=np.float64)
+    n = L.shape[0]
+    if n > max_clients:
+        raise ValueError(f"exhaustive search limited to {max_clients} clients, got {n}")
+    if n % group_size:
+        raise ValueError(f"{n} clients not divisible by group size {group_size}")
+    best: tuple[float, list[list[int]]] | None = None
+    for partition in _partitions_into_groups(list(range(n)), group_size):
+        obj = sum_cov_objective(L, partition)
+        if best is None or obj < best[0]:
+            best = (obj, partition)
+    assert best is not None
+    return best[1], best[0]

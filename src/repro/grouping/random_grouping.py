@@ -1,0 +1,54 @@
+"""Random grouping (RG): shuffle clients, cut into fixed-size chunks.
+
+The grouping used by the FedAvg / FedProx / SCAFFOLD baselines in §7.3 and
+the reference point in Figs. 5, 6, and 12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grouping.base import Group, Grouper
+from repro.rng import make_rng
+
+__all__ = ["RandomGrouping"]
+
+
+class RandomGrouping(Grouper):
+    """Uniform random partition into groups of ``group_size`` clients.
+
+    The trailing remainder (fewer than ``group_size`` clients) is merged
+    into the last full group when ``merge_remainder`` is set (default), so
+    every group respects the size floor; otherwise it forms a smaller group.
+    """
+
+    name = "rg"
+
+    def __init__(self, group_size: int = 5, merge_remainder: bool = True):
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.group_size = int(group_size)
+        self.merge_remainder = bool(merge_remainder)
+
+    def group(
+        self,
+        label_matrix: np.ndarray,
+        client_ids: np.ndarray,
+        edge_id: int = 0,
+        rng: np.random.Generator | int | None = None,
+    ) -> list[Group]:
+        rng = make_rng(rng)
+        n = label_matrix.shape[0]
+        order = rng.permutation(n)
+        size = self.group_size
+        partitions = [order[i : i + size].tolist() for i in range(0, n, size)]
+        if (
+            self.merge_remainder
+            and len(partitions) > 1
+            and len(partitions[-1]) < size
+        ):
+            partitions[-2].extend(partitions.pop())
+        return self._build_groups(partitions, label_matrix, client_ids, edge_id)
+
+    def __repr__(self) -> str:
+        return f"RandomGrouping(group_size={self.group_size})"

@@ -1,0 +1,17 @@
+"""Evaluation metrics and training-history containers."""
+
+from repro.metrics.fairness import (
+    FairnessReport,
+    participation_counts,
+    per_client_accuracy,
+)
+from repro.metrics.history import TrainingHistory, accuracy_at_cost, cost_to_accuracy
+
+__all__ = [
+    "TrainingHistory",
+    "accuracy_at_cost",
+    "cost_to_accuracy",
+    "FairnessReport",
+    "per_client_accuracy",
+    "participation_counts",
+]

@@ -1,0 +1,82 @@
+"""Training history: the accuracy-vs-round and accuracy-vs-cost curves.
+
+The paper's headline measurement is accuracy as a function of *total
+learning cost* (Eq. 5), not rounds (§2.3); the history records both axes
+for every evaluation point so any figure can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrainingHistory", "accuracy_at_cost", "cost_to_accuracy"]
+
+
+@dataclass
+class TrainingHistory:
+    """Evaluation checkpoints of one training run."""
+
+    label: str = ""
+    rounds: list[int] = field(default_factory=list)
+    costs: list[float] = field(default_factory=list)
+    test_acc: list[float] = field(default_factory=list)
+    test_loss: list[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def record(self, round_idx: int, cost: float, acc: float, loss: float) -> None:
+        """Append one evaluation checkpoint."""
+        self.rounds.append(int(round_idx))
+        self.costs.append(float(cost))
+        self.test_acc.append(float(acc))
+        self.test_loss.append(float(loss))
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy at the last checkpoint (0 if none recorded)."""
+        return self.test_acc[-1] if self.test_acc else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(self.test_acc) if self.test_acc else 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return self.costs[-1] if self.costs else 0.0
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Column arrays for plotting/reporting."""
+        return {
+            "round": np.asarray(self.rounds),
+            "cost": np.asarray(self.costs),
+            "test_acc": np.asarray(self.test_acc),
+            "test_loss": np.asarray(self.test_loss),
+        }
+
+    def accuracy_at_cost(self, budget: float) -> float:
+        """Best accuracy achieved within a cost budget."""
+        return accuracy_at_cost(np.asarray(self.costs), np.asarray(self.test_acc), budget)
+
+    def cost_to_accuracy(self, target: float) -> float:
+        """Cost at which accuracy first reached ``target`` (inf if never)."""
+        return cost_to_accuracy(np.asarray(self.costs), np.asarray(self.test_acc), target)
+
+
+def accuracy_at_cost(costs: np.ndarray, accs: np.ndarray, budget: float) -> float:
+    """Best accuracy among checkpoints with cost ≤ budget (0 if none)."""
+    costs = np.asarray(costs, dtype=np.float64)
+    accs = np.asarray(accs, dtype=np.float64)
+    mask = costs <= budget
+    return float(accs[mask].max()) if mask.any() else 0.0
+
+
+def cost_to_accuracy(costs: np.ndarray, accs: np.ndarray, target: float) -> float:
+    """First cost at which accuracy ≥ target (inf if never reached)."""
+    costs = np.asarray(costs, dtype=np.float64)
+    accs = np.asarray(accs, dtype=np.float64)
+    hits = np.flatnonzero(accs >= target)
+    return float(costs[hits[0]]) if hits.size else float("inf")

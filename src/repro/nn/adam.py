@@ -1,0 +1,97 @@
+"""Adam optimizer and gradient clipping, on the flat-vector API.
+
+Adam is not used by the paper's experiments (they run SGD) but rounds out
+the library for downstream users; gradient clipping is a common stabilizer
+for the edge-of-stability non-IID regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Model
+from repro.nn.optim import ConstantLR, LRSchedule
+
+__all__ = ["Adam", "clip_gradients"]
+
+
+def clip_gradients(grads: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``grads`` in place so its L2 norm is at most ``max_norm``."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = float(np.linalg.norm(grads))
+    if norm > max_norm:
+        grads *= max_norm / norm
+    return grads
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) over a model's flat parameters.
+
+    Mirrors :class:`repro.nn.optim.SGD`'s interface (``step(grad_offset)``,
+    ``reset_state``) so it can drop into the same client-training loop.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        lr: float | LRSchedule = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = None,
+    ):
+        self.model = model
+        self.schedule = ConstantLR(lr) if isinstance(lr, (int, float)) else lr
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = float(b1), float(b2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.max_grad_norm = max_grad_norm
+        self.momentum = 0.0  # effective_lr parity with SGD's interface
+        n = model.num_params
+        self._mask = model.trainable_mask()
+        self._m = np.zeros(n)
+        self._v = np.zeros(n)
+        self._params = np.empty(n)
+        self._grads = np.empty(n)
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        return self.schedule.lr_at(self.step_count)
+
+    @property
+    def effective_lr(self) -> float:
+        """Displacement rate proxy (SCAFFOLD hook parity with SGD)."""
+        return self.schedule.lr_at(0)
+
+    def step(self, grad_offset: np.ndarray | None = None) -> float:
+        lr = self.schedule.lr_at(self.step_count)
+        self.step_count += 1
+        params = self.model.get_params(self._params)
+        grads = self.model.get_grads(self._grads)
+        if grad_offset is not None:
+            grads += grad_offset
+        if self.weight_decay:
+            grads += self.weight_decay * params
+        if self.max_grad_norm is not None:
+            clip_gradients(grads, self.max_grad_norm)
+        grads[~self._mask] = 0.0
+        self._m *= self.beta1
+        self._m += (1.0 - self.beta1) * grads
+        self._v *= self.beta2
+        self._v += (1.0 - self.beta2) * grads * grads
+        t = self.step_count
+        m_hat = self._m / (1.0 - self.beta1**t)
+        v_hat = self._v / (1.0 - self.beta2**t)
+        params -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        self.model.set_params(params)
+        return lr
+
+    def reset_state(self) -> None:
+        self.step_count = 0
+        self._m.fill(0.0)
+        self._v.fill(0.0)

@@ -1,0 +1,81 @@
+"""AudioCNN: the paper's "5-layer CNN" for the Speech-Commands task.
+
+A lightweight 1-D convolutional network over MFCC-like feature sequences:
+two conv-relu-pool stages, one conv-relu stage, global average pooling, and
+a linear classifier — five weighted layers, sized to be cheap like the
+paper's Raspberry-Pi-trainable model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv1d,
+    Dense,
+    GlobalAvgPool1d,
+    Layer,
+    MaxPool1d,
+    ReLU,
+)
+from repro.nn.model import Sequential
+from repro.rng import make_rng
+
+__all__ = ["AudioCNN", "make_audio_cnn"]
+
+
+class AudioCNN(Sequential):
+    """Five-layer 1-D CNN for sequence classification.
+
+    Input shape ``(N, in_channels, seq_len)``; ``seq_len`` must be divisible
+    by 4 (two 2x pooling stages).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 8,
+        num_classes: int = 35,
+        seq_len: int = 16,
+        base_width: int = 16,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        if seq_len % 4:
+            raise ValueError(f"seq_len must be divisible by 4, got {seq_len}")
+        rng = make_rng(seed)
+        w = base_width
+        layers: list[Layer] = [
+            Conv1d(in_channels, w, 3, rng, stride=1, padding=1),
+            ReLU(),
+            MaxPool1d(2),
+            Conv1d(w, 2 * w, 3, rng, stride=1, padding=1),
+            ReLU(),
+            MaxPool1d(2),
+            Conv1d(2 * w, 2 * w, 3, rng, stride=1, padding=1),
+            ReLU(),
+            GlobalAvgPool1d(),
+            Dense(2 * w, 2 * w, rng),
+            ReLU(),
+            Dense(2 * w, num_classes, rng),
+        ]
+        super().__init__(layers)
+        self.in_channels = in_channels
+        self.num_classes = num_classes
+        self.seq_len = seq_len
+        self.base_width = base_width
+
+
+def make_audio_cnn(
+    in_channels: int = 8,
+    num_classes: int = 35,
+    seq_len: int = 16,
+    base_width: int = 16,
+    seed: int | np.random.Generator | None = 0,
+) -> AudioCNN:
+    """Factory for the paper's command-recognition model."""
+    return AudioCNN(
+        in_channels=in_channels,
+        num_classes=num_classes,
+        seq_len=seq_len,
+        base_width=base_width,
+        seed=seed,
+    )

@@ -1,0 +1,124 @@
+"""Additional layers: LayerNorm and average pooling.
+
+LayerNorm normalizes per sample (no running statistics), which makes it
+the FL-friendly alternative to BatchNorm: nothing to average across
+clients, no train/eval asymmetry, no statistics corruption under non-IID
+local data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["LayerNorm", "AvgPool2d", "AvgPool1d"]
+
+
+class LayerNorm(Layer):
+    """Per-sample normalization over all non-batch axes.
+
+    For input (N, ...) each sample is standardized over its own features
+    and then scaled/shifted by learnable per-feature gain/bias of shape
+    ``normalized_shape``.
+    """
+
+    def __init__(self, normalized_shape: int | tuple[int, ...], eps: float = 1e-5):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(int(d) for d in normalized_shape)
+        self.eps = float(eps)
+        self.add_param("gamma", np.ones(self.normalized_shape))
+        self.add_param("beta", np.zeros(self.normalized_shape))
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if x.shape[1:] != self.normalized_shape:
+            raise ValueError(
+                f"input feature shape {x.shape[1:]} != {self.normalized_shape}"
+            )
+        axes = tuple(range(1, x.ndim))
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        if training:
+            self._cache = (x_hat, inv_std)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_hat, inv_std = self._cache
+        axes = tuple(range(1, grad_out.ndim))
+        m = int(np.prod(self.normalized_shape))
+        self.grads["gamma"] += (grad_out * x_hat).sum(axis=0)
+        self.grads["beta"] += grad_out.sum(axis=0)
+        g = grad_out * self.params["gamma"]
+        g_sum = g.sum(axis=axes, keepdims=True)
+        gx_sum = (g * x_hat).sum(axis=axes, keepdims=True)
+        return inv_std * (g - g_sum / m - x_hat * gx_sum / m)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape})"
+
+
+class AvgPool2d(Layer):
+    """Average pooling with kernel == stride: (N, C, H, W) -> (N, C, H/k, W/k)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        k = self.kernel_size
+        n, c, h, w = x.shape
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by pool size {k}")
+        if training:
+            self._x_shape = x.shape
+        return x.reshape(n, c, h // k, k, w // k, k).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        k = self.kernel_size
+        n, c, h, w = self._x_shape
+        grad = grad_out[:, :, :, None, :, None] / (k * k)
+        return np.broadcast_to(
+            grad, (n, c, h // k, k, w // k, k)
+        ).reshape(n, c, h, w).copy()
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size})"
+
+
+class AvgPool1d(Layer):
+    """Average pooling with kernel == stride: (N, C, L) -> (N, C, L/k)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self._x_shape: tuple[int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        k = self.kernel_size
+        n, c, length = x.shape
+        if length % k:
+            raise ValueError(f"sequence length {length} not divisible by {k}")
+        if training:
+            self._x_shape = x.shape
+        return x.reshape(n, c, length // k, k).mean(axis=3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        k = self.kernel_size
+        n, c, length = self._x_shape
+        grad = grad_out[:, :, :, None] / k
+        return np.broadcast_to(grad, (n, c, length // k, k)).reshape(n, c, length).copy()
+
+    def __repr__(self) -> str:
+        return f"AvgPool1d(k={self.kernel_size})"

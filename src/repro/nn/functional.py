@@ -1,0 +1,174 @@
+"""Stateless numerical kernels shared by layers and losses.
+
+The convolution path uses im2col/col2im so the inner loops become one big
+GEMM per layer — the canonical vectorization trick from the scientific-
+Python optimization guide (replace Python loops with one BLAS call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "im2col_1d",
+    "col2im_1d",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "xavier_uniform",
+    "kaiming_normal",
+]
+
+
+def _pair(v: int | tuple[int, int]) -> tuple[int, int]:
+    return (v, v) if isinstance(v, int) else (int(v[0]), int(v[1]))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output length of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size {out} <= 0 "
+            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int | tuple[int, int], stride: int = 1, pad: int = 0
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N*OH*OW, C*KH*KW)`` patch rows.
+
+    Returns the column matrix plus the output spatial shape ``(OH, OW)``.
+    Uses stride tricks (a view, not a copy) before the final reshape so the
+    only data movement is the one unavoidable gather.
+    """
+    kh, kw = _pair(kernel)
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, OH, OW, C, KH, KW) -> rows of patches.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int | tuple[int, int],
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold patch-gradient rows back to an input gradient (im2col adjoint)."""
+    kh, kw = _pair(kernel)
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    grad = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    # Scatter-add each kernel offset in one vectorized slice assignment.
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            grad[:, :, i:i_max:stride, j:j_max:stride] += patches[:, :, i, j]
+    if pad > 0:
+        return grad[:, :, pad:-pad, pad:-pad]
+    return grad
+
+
+def im2col_1d(
+    x: np.ndarray, kernel: int, stride: int = 1, pad: int = 0
+) -> tuple[np.ndarray, int]:
+    """Unfold ``(N, C, L)`` into ``(N*OL, C*K)`` patch rows; returns (cols, OL)."""
+    n, c, length = x.shape
+    ol = conv_output_size(length, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad)), mode="constant")
+    sn, sc, sl = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, ol, kernel),
+        strides=(sn, sc, sl * stride, sl),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 1, 3).reshape(n * ol, c * kernel)
+    return np.ascontiguousarray(cols), ol
+
+
+def col2im_1d(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int],
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_1d`."""
+    n, c, length = x_shape
+    ol = conv_output_size(length, kernel, stride, pad)
+    lp = length + 2 * pad
+    grad = np.zeros((n, c, lp), dtype=cols.dtype)
+    patches = cols.reshape(n, ol, c, kernel).transpose(0, 2, 3, 1)
+    for k in range(kernel):
+        grad[:, :, k : k + stride * ol : stride] += patches[:, :, k]
+    if pad > 0:
+        return grad[:, :, pad:-pad]
+    return grad
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` -> one-hot ``(N, num_classes)`` float64."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He/Kaiming normal initialization (for ReLU networks)."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,49 @@
+"""Loss functions returning (scalar loss, gradient w.r.t. logits)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+__all__ = ["Loss", "CrossEntropyLoss", "MSELoss"]
+
+
+class Loss:
+    """A loss maps (logits, targets) -> (mean loss, d loss / d logits)."""
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy on integer labels (fused for stability).
+
+    The fused formulation avoids materializing probabilities twice and keeps
+    the gradient exactly ``(softmax(z) - onehot(y)) / N``.
+    """
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets)
+        n = logits.shape[0]
+        if targets.shape[0] != n:
+            raise ValueError(f"batch mismatch: logits {n} vs targets {targets.shape[0]}")
+        logp = log_softmax(logits, axis=1)
+        loss = -logp[np.arange(n), targets].mean()
+        grad = softmax(logits, axis=1)
+        grad[np.arange(n), targets] -= 1.0
+        grad /= n
+        return float(loss), grad
+
+
+class MSELoss(Loss):
+    """Mean squared error; targets may be class indices (one-hot encoded)."""
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+        targets = np.asarray(targets)
+        if targets.ndim == 1 and logits.ndim == 2:
+            targets = one_hot(targets.astype(np.int64), logits.shape[1])
+        diff = logits - targets
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad

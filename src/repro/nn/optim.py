@@ -1,0 +1,145 @@
+"""Optimizers and learning-rate schedules.
+
+The optimizer works on the flat parameter vector (see ``repro.nn.model``),
+so a step is a handful of vectorized array operations regardless of model
+depth. Non-trainable entries (BatchNorm running stats) are masked out.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.model import Model
+
+__all__ = ["LRSchedule", "ConstantLR", "StepLR", "CosineLR", "SGD"]
+
+
+class LRSchedule:
+    """Maps a step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRSchedule):
+    """Fixed learning rate."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, lr: float, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.lr = float(lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def lr_at(self, step: int) -> float:
+        return self.lr * self.gamma ** (step // self.step_size)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, lr: float, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        self.lr = float(lr)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def lr_at(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.lr - self.min_lr) * (1.0 + math.cos(math.pi * t))
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Operates on a model's flat parameter/gradient vectors; a preallocated
+    velocity buffer is updated in place (no per-step allocation).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        lr: float | LRSchedule = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        self.model = model
+        self.schedule = ConstantLR(lr) if isinstance(lr, (int, float)) else lr
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.step_count = 0
+        n = model.num_params
+        self._mask = model.trainable_mask()
+        self._velocity = np.zeros(n) if momentum > 0.0 else None
+        # Scratch buffers reused every step.
+        self._params = np.empty(n)
+        self._grads = np.empty(n)
+
+    @property
+    def lr(self) -> float:
+        """Learning rate the *next* step will use."""
+        return self.schedule.lr_at(self.step_count)
+
+    @property
+    def effective_lr(self) -> float:
+        """Per-gradient-unit displacement rate, momentum included.
+
+        Under heavy-ball momentum a steady gradient g displaces parameters
+        by ≈ steps·lr·g/(1−m); SCAFFOLD's control-variate update divides
+        the observed displacement by steps·effective_lr to recover the
+        average gradient, so it must use this rate, not the raw lr.
+        """
+        return self.schedule.lr_at(0) / (1.0 - self.momentum)
+
+    def step(self, grad_offset: np.ndarray | None = None) -> float:
+        """Apply one update from the model's accumulated gradients.
+
+        Parameters
+        ----------
+        grad_offset:
+            Optional vector added to the gradient before the update — the
+            hook used by SCAFFOLD (``-c_i + c``) and FedProx (``mu * (x -
+            x_global)``). Must have model.num_params entries.
+
+        Returns the learning rate used.
+        """
+        lr = self.schedule.lr_at(self.step_count)
+        self.step_count += 1
+        params = self.model.get_params(self._params)
+        grads = self.model.get_grads(self._grads)
+        if grad_offset is not None:
+            grads += grad_offset
+        if self.weight_decay:
+            grads += self.weight_decay * params
+        grads[~self._mask] = 0.0
+        if self._velocity is not None:
+            self._velocity *= self.momentum
+            self._velocity += grads
+            params -= lr * self._velocity
+        else:
+            params -= lr * grads
+        self.model.set_params(params)
+        return lr
+
+    def reset_state(self) -> None:
+        """Clear momentum and the step counter (used between FL clients)."""
+        self.step_count = 0
+        if self._velocity is not None:
+            self._velocity.fill(0.0)

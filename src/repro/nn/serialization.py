@@ -1,0 +1,60 @@
+"""Model checkpoint serialization (.npz).
+
+Checkpoints store the flat parameter vector plus a structural signature
+(per-parameter shapes and names) so loading into a mismatched architecture
+fails loudly instead of silently scrambling weights.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from repro.nn.model import Model
+
+__all__ = ["save_model", "load_model", "model_signature"]
+
+
+def model_signature(model: Model) -> list[str]:
+    """Stable structural signature: '<LayerType>.<param>:<shape>' per leaf."""
+    sig = []
+    for layer, name in model._param_items():
+        shape = "x".join(str(d) for d in layer.params[name].shape)
+        sig.append(f"{type(layer).__name__}.{name}:{shape}")
+    return sig
+
+
+def save_model(model: Model, path: str | os.PathLike) -> None:
+    """Write the model's parameters and signature to an .npz file."""
+    np.savez_compressed(
+        path,
+        params=model.get_params(),
+        signature=np.array(model_signature(model)),
+    )
+
+
+def load_model(model: Model, path: str | os.PathLike, strict: bool = True) -> Model:
+    """Load parameters into ``model`` (in place), checking the signature.
+
+    With ``strict`` (default) any structural mismatch raises ``ValueError``;
+    otherwise only the total parameter count must match.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        params = archive["params"]
+        saved_sig = [str(s) for s in archive["signature"]]
+    if strict:
+        current = model_signature(model)
+        if current != saved_sig:
+            raise ValueError(
+                "checkpoint structure mismatch:\n"
+                f"  checkpoint: {saved_sig[:3]}... ({len(saved_sig)} entries)\n"
+                f"  model:      {current[:3]}... ({len(current)} entries)"
+            )
+    if params.shape != (model.num_params,):
+        raise ValueError(
+            f"checkpoint has {params.shape[0]} params, model needs {model.num_params}"
+        )
+    model.set_params(params)
+    return model

@@ -1,0 +1,75 @@
+"""Execution backends for group-parallel simulation.
+
+Algorithm 1 trains the sampled groups of a global round *in parallel*
+("for group g in S_t do ⊲ in parallel"). In this simulator each group's
+round is an independent pure function of ``(global model, group state)``,
+so it maps cleanly onto an executor. Three backends are provided:
+
+* ``serial``  — plain loop; the default, fully deterministic, zero overhead.
+* ``thread``  — ``ThreadPoolExecutor``; NumPy's BLAS kernels release the GIL,
+  so matrix-heavy local training overlaps well.
+* ``process`` — ``ProcessPoolExecutor``; true multiprocess fan-out for large
+  models (work items must be picklable).
+
+Results are always returned **in submission order** regardless of backend so
+that aggregation order — and therefore floating-point results — is stable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["ParallelMap", "available_backends"]
+
+_BACKENDS = ("serial", "thread", "process")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the supported execution backends."""
+    return _BACKENDS
+
+
+class ParallelMap:
+    """Ordered ``map`` over an execution backend.
+
+    Parameters
+    ----------
+    backend:
+        One of ``"serial"``, ``"thread"``, ``"process"``.
+    max_workers:
+        Worker count for pooled backends. Defaults to ``os.cpu_count()``
+        capped at 8 (group counts per round are small; more workers only add
+        startup cost — profile before raising, per the optimization guide).
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        self.backend = backend
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        if self.backend == "serial" or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+    def starmap(self, fn: Callable[..., R], arg_tuples: Sequence[tuple]) -> list[R]:
+        """Like :meth:`map` but unpacks each item as positional arguments."""
+        return self.map(lambda args: fn(*args), arg_tuples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelMap(backend={self.backend!r}, max_workers={self.max_workers})"

@@ -1,0 +1,30 @@
+"""Probabilistic group sampling at the cloud (§6).
+
+``probability`` computes the sampling vector p from group CoVs (Eq. 34)
+with the paper's three weight functions (RCoV, SRCoV, ESRCoV) or uniform;
+``sampler`` draws S groups per round without replacement and produces the
+aggregation weights (plain, unbiased with the 1/(p_g·S) factor, or the
+stabilized normalization of Eq. 35).
+"""
+
+from repro.sampling.probability import (
+    WEIGHT_FUNCTIONS,
+    sampling_probabilities,
+    uniform_probabilities,
+)
+from repro.sampling.sampler import (
+    AggregationMode,
+    GroupSampler,
+    aggregation_weights,
+    sample_without_replacement,
+)
+
+__all__ = [
+    "WEIGHT_FUNCTIONS",
+    "sampling_probabilities",
+    "uniform_probabilities",
+    "GroupSampler",
+    "AggregationMode",
+    "aggregation_weights",
+    "sample_without_replacement",
+]

@@ -1,0 +1,118 @@
+"""Sampling-probability computation (Eq. 34).
+
+p_g = w(1/CoV(g)) / Σ_g' w(1/CoV(g')), with w non-decreasing:
+
+* ``random``  — uniform p (ignores CoV)
+* ``rcov``    — w(x) = x        (reciprocal CoV)
+* ``srcov``   — w(x) = x²       (squared reciprocal CoV)
+* ``esrcov``  — w(x) = e^{x²}   (exponential squared reciprocal CoV)
+
+The paper picks ESRCoV as the default ("it has the best performance",
+§6.1). e^{x²} overflows for tiny CoV, so weights are computed in log space
+and shifted by the max before exponentiating (softmax-style), which leaves
+the normalized p unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grouping.base import Group
+
+__all__ = ["WEIGHT_FUNCTIONS", "sampling_probabilities", "uniform_probabilities"]
+
+#: Weight functions expressed as log-weights of x = 1/CoV (log keeps
+#: e^{x²} finite); each maps an array of x > 0 to log w(x).
+WEIGHT_FUNCTIONS = {
+    "rcov": lambda x: np.log(x),
+    "srcov": lambda x: 2.0 * np.log(x),
+    "esrcov": lambda x: x * x,
+}
+
+
+def uniform_probabilities(num_groups: int) -> np.ndarray:
+    """The ``random`` sampling vector: p_g = 1/|G|."""
+    if num_groups <= 0:
+        raise ValueError(f"num_groups must be positive, got {num_groups}")
+    return np.full(num_groups, 1.0 / num_groups)
+
+
+def sampling_probabilities(
+    groups: list[Group] | np.ndarray,
+    method: str = "esrcov",
+    min_prob: float = 0.0,
+    cov_floor: float = 1e-3,
+) -> np.ndarray:
+    """Compute p over groups from their CoV values.
+
+    Parameters
+    ----------
+    groups:
+        Group objects or a precomputed array of CoV values.
+    method:
+        ``random``, ``rcov``, ``srcov``, or ``esrcov``.
+    min_prob:
+        Optional floor on each p_g (then renormalized). Keeping every
+        probability bounded away from zero bounds the paper's Γ_p ≥ Σ 1/p_g
+        — the quantity Theorem 1 says must stay finite for unbiased
+        aggregation to be stable (§4.3, second observation).
+    cov_floor:
+        CoV values below this are clamped before inversion: a perfectly
+        balanced group (CoV = 0) would otherwise get infinite weight.
+    """
+    if isinstance(groups, np.ndarray) or (
+        len(groups) > 0 and not isinstance(groups[0], Group)
+    ):
+        covs = np.asarray(groups, dtype=np.float64)
+    else:
+        covs = np.array([g.cov for g in groups], dtype=np.float64)
+    n = covs.shape[0]
+    if n == 0:
+        raise ValueError("cannot compute probabilities over zero groups")
+    if method == "random":
+        p = uniform_probabilities(n)
+    else:
+        try:
+            log_w_fn = WEIGHT_FUNCTIONS[method]
+        except KeyError:
+            raise KeyError(
+                f"unknown sampling method {method!r}; known: "
+                f"{['random', *sorted(WEIGHT_FUNCTIONS)]}"
+            ) from None
+        x = 1.0 / np.maximum(covs, cov_floor)
+        log_w = log_w_fn(x)
+        log_w -= log_w.max()  # shift-invariant normalization
+        w = np.exp(log_w)
+        p = w / w.sum()
+    if min_prob > 0.0:
+        if min_prob * n > 1.0:
+            raise ValueError(
+                f"min_prob {min_prob} infeasible for {n} groups (needs ≤ {1.0 / n:.4f})"
+            )
+        p = _apply_floor(p, min_prob)
+    return p
+
+
+def _apply_floor(p: np.ndarray, floor: float) -> np.ndarray:
+    """Raise every entry to ≥ floor, water-filling the deficit from the rest.
+
+    Entries at the floor are pinned; the remaining probability mass is
+    distributed proportionally among the others. Iterates because scaling
+    the rest down can push new entries below the floor.
+    """
+    p = p.copy()
+    pinned = np.zeros(p.shape, dtype=bool)
+    for _ in range(p.shape[0]):
+        low = (p < floor) & ~pinned
+        if not low.any():
+            break
+        pinned |= low
+        p[pinned] = floor
+        free = ~pinned
+        remaining = 1.0 - pinned.sum() * floor
+        total_free = p[free].sum()
+        if total_free > 0:
+            p[free] *= remaining / total_free
+        else:  # everything pinned
+            break
+    return p

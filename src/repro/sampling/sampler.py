@@ -1,0 +1,137 @@
+"""Group sampling and aggregation-weight computation.
+
+Sampling S_t ⊆ G happens once per global round (Algorithm 1, Line 6) via
+sequential probability-proportional draws *without replacement* — remove
+the drawn group, renormalize, repeat. Aggregation weights implement the
+three modes discussed in §3.1/§6.2:
+
+* ``biased``     — Line 15 verbatim: weight ∝ n_g (normalized over S_t).
+* ``unbiased``   — Eq. (4): weight = n_g / (n · p_g · S); an unbiased
+  estimator of the full aggregation, but numerically fragile when some
+  1/p_g is huge.
+* ``stabilized`` — Eq. (35): the unbiased weights renormalized to sum to 1,
+  trading exact unbiasedness for stability (the paper's recommendation
+  when prioritized sampling and the unbiasedness factor are combined).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.grouping.base import Group
+from repro.rng import make_rng
+from repro.sampling.probability import sampling_probabilities
+
+__all__ = [
+    "AggregationMode",
+    "sample_without_replacement",
+    "aggregation_weights",
+    "GroupSampler",
+]
+
+
+class AggregationMode(str, Enum):
+    """How sampled group models are combined at the cloud."""
+
+    BIASED = "biased"
+    UNBIASED = "unbiased"
+    STABILIZED = "stabilized"
+
+
+def sample_without_replacement(
+    p: np.ndarray, size: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Draw ``size`` distinct indices with probability ∝ p, sequentially.
+
+    Equivalent to successive renormalized draws; implemented with NumPy's
+    ``choice(replace=False, p=...)`` which uses the same scheme.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    n = p.shape[0]
+    if not 0 < size <= n:
+        raise ValueError(f"cannot sample {size} from {n} groups")
+    if np.any(p < 0) or not np.isclose(p.sum(), 1.0):
+        raise ValueError("p must be a probability vector")
+    rng = make_rng(rng)
+    return rng.choice(n, size=size, replace=False, p=p)
+
+
+def aggregation_weights(
+    selected_groups: list[Group],
+    p_selected: np.ndarray,
+    total_samples: int,
+    mode: AggregationMode | str = AggregationMode.BIASED,
+) -> np.ndarray:
+    """Aggregation weight per selected group (weights of Line 15 / Eq. 4 / Eq. 35).
+
+    Parameters
+    ----------
+    selected_groups:
+        The groups in S_t, in draw order.
+    p_selected:
+        Their sampling probabilities p_g (same order).
+    total_samples:
+        The paper's n (all data across all groups).
+    """
+    mode = AggregationMode(mode)
+    n_g = np.array([g.n_g for g in selected_groups], dtype=np.float64)
+    s = len(selected_groups)
+    if p_selected.shape != (s,):
+        raise ValueError(f"p_selected shape {p_selected.shape} != ({s},)")
+    if mode is AggregationMode.BIASED:
+        # Line 15: n_g / n_t where n_t is the data total over S_t.
+        return n_g / n_g.sum()
+    raw = n_g / (np.asarray(p_selected) * s * float(total_samples))
+    if mode is AggregationMode.UNBIASED:
+        return raw
+    return raw / raw.sum()  # Eq. (35)
+
+
+class GroupSampler:
+    """Cloud-side sampler bound to a fixed group list.
+
+    Computes p once from group CoVs (``Sampling-Prob`` — Algorithm 1 Line 4)
+    and then draws S_t each round. Recreate the sampler after any regrouping.
+    """
+
+    def __init__(
+        self,
+        groups: list[Group],
+        method: str = "esrcov",
+        num_sampled: int = 1,
+        mode: AggregationMode | str = AggregationMode.BIASED,
+        min_prob: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if num_sampled < 1 or num_sampled > len(groups):
+            raise ValueError(
+                f"num_sampled {num_sampled} out of range for {len(groups)} groups"
+            )
+        self.groups = groups
+        self.method = method
+        self.num_sampled = int(num_sampled)
+        self.mode = AggregationMode(mode)
+        self.p = sampling_probabilities(groups, method=method, min_prob=min_prob)
+        self.rng = make_rng(rng)
+        self.total_samples = int(sum(g.n_g for g in groups))
+
+    def gamma_p(self) -> float:
+        """Γ_p = Σ_g 1/p_g — the sampling-dispersion term of Theorem 1."""
+        return float(np.sum(1.0 / self.p))
+
+    def sample(self) -> tuple[list[Group], np.ndarray]:
+        """Draw S_t; returns (groups, their aggregation weights)."""
+        idx = sample_without_replacement(self.p, self.num_sampled, self.rng)
+        selected = [self.groups[i] for i in idx]
+        weights = aggregation_weights(
+            selected, self.p[idx], self.total_samples, self.mode
+        )
+        return selected, weights
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupSampler(method={self.method!r}, S={self.num_sampled}, "
+            f"mode={self.mode.value}, |G|={len(self.groups)})"
+        )

@@ -1,0 +1,71 @@
+"""Shamir secret sharing over a prime field (for SecAgg dropout recovery).
+
+In Bonawitz et al.'s protocol each client secret-shares the seeds of its
+pairwise masks among the group, so that if it drops out mid-round any t of
+the surviving clients can hand the server enough shares to reconstruct —
+and cancel — the dropped client's masks. Seeds are 64-bit integers, so the
+field is a fixed 127-bit Mersenne prime (2¹²⁷ − 1) and all arithmetic uses
+exact Python integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import make_rng
+
+__all__ = ["PRIME", "split_secret", "reconstruct_secret"]
+
+#: 2**127 - 1, a Mersenne prime comfortably above any 64-bit seed.
+PRIME = (1 << 127) - 1
+
+
+def split_secret(
+    secret: int,
+    num_shares: int,
+    threshold: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    Returns ``[(x, f(x)), ...]`` with distinct nonzero x's.
+    """
+    if not 0 <= secret < PRIME:
+        raise ValueError(f"secret must be in [0, PRIME), got {secret}")
+    if not 1 <= threshold <= num_shares:
+        raise ValueError(
+            f"need 1 <= threshold ({threshold}) <= num_shares ({num_shares})"
+        )
+    rng = make_rng(rng)
+    # Random polynomial of degree threshold-1 with f(0) = secret.
+    coeffs = [int(secret)] + [
+        int.from_bytes(rng.bytes(16), "little") % PRIME for _ in range(threshold - 1)
+    ]
+    shares = []
+    for x in range(1, num_shares + 1):
+        y = 0
+        for c in reversed(coeffs):  # Horner evaluation mod PRIME
+            y = (y * x + c) % PRIME
+        shares.append((x, y))
+    return shares
+
+
+def reconstruct_secret(shares: list[tuple[int, int]]) -> int:
+    """Lagrange interpolation at 0 from ≥ threshold shares."""
+    if not shares:
+        raise ValueError("need at least one share")
+    xs = [s[0] for s in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("shares must have distinct x coordinates")
+    secret = 0
+    for i, (xi, yi) in enumerate(shares):
+        num = den = 1
+        for j, (xj, _) in enumerate(shares):
+            if i == j:
+                continue
+            num = (num * (-xj)) % PRIME
+            den = (den * (xi - xj)) % PRIME
+        lagrange = num * pow(den, PRIME - 2, PRIME) % PRIME
+        secret = (secret + yi * lagrange) % PRIME
+    return secret

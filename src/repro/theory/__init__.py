@@ -1,0 +1,36 @@
+"""Theorem 1: the convergence bound of Group-FEL (§4).
+
+``constants`` computes the group-character quantities γ, Γ, Γ_p (Eq. 11–12)
+from actual groupings; ``bound`` evaluates the full right-hand side of
+Eq. (10) with the λ constants (Eq. 13–18); ``heterogeneity`` estimates the
+assumption constants σ, ζ, ζ_g empirically from model gradients.
+"""
+
+from repro.theory.constants import gamma_of_group, gamma_big, gamma_p
+from repro.theory.bound import (
+    BoundInputs,
+    convergence_bound,
+    lambda_constants,
+    step_size_ok,
+)
+from repro.theory.heterogeneity import (
+    estimate_gradient_noise,
+    estimate_group_heterogeneity,
+    estimate_local_heterogeneity,
+)
+from repro.theory.smoothness import check_descent_lemma, estimate_smoothness
+
+__all__ = [
+    "gamma_of_group",
+    "gamma_big",
+    "gamma_p",
+    "BoundInputs",
+    "lambda_constants",
+    "convergence_bound",
+    "step_size_ok",
+    "estimate_gradient_noise",
+    "estimate_local_heterogeneity",
+    "estimate_group_heterogeneity",
+    "estimate_smoothness",
+    "check_descent_lemma",
+]

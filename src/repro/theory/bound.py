@@ -1,0 +1,118 @@
+"""Theorem 1's convergence bound (Eq. 10) with the λ constants (Eq. 13–18).
+
+The bound on (1/T)·Σ_t ‖∇f(x_t)‖² has three terms:
+
+1. initialization:  (f(x₀) − E f(x_T)) / (λ₁ η T K E)
+2. sampling:        λ_s · Γ_p / (|S_t| · λ₁ T K E)
+3. heterogeneity:   γ Γ (λ₂σ² + λ₃ζ² + λ₄ζ_g²) / (λ₁ T)
+
+Key qualitative facts the tests verify:
+* larger group heterogeneity ζ_g ⇒ larger bound (first key observation),
+* larger sampling dispersion Γ_p ⇒ larger bound (second observation),
+* larger γ or Γ ⇒ larger bound (third observation),
+* the bound decays as T grows (convergence), provided the step-size
+  conditions (Eq. 14, 18) hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoundInputs", "lambda_constants", "step_size_ok", "convergence_bound"]
+
+
+@dataclass(frozen=True)
+class BoundInputs:
+    """Everything Theorem 1's right-hand side depends on."""
+
+    f0_gap: float  # f(x₀) − E[f(x_T)] (positive for a descending run)
+    eta: float  # learning rate η
+    T: int  # global rounds
+    K: int  # group rounds
+    E: int  # local rounds
+    L: float  # smoothness constant
+    sigma2: float  # gradient-noise bound σ²
+    zeta2: float  # local heterogeneity ζ²
+    zeta_g2: float  # group heterogeneity ζ_g²
+    gamma: float  # γ (Eq. 11)
+    Gamma: float  # Γ (Eq. 12)
+    Gamma_p: float  # Γ_p ≥ Σ 1/p_g
+    S: int  # |S_t| — groups sampled per round
+    group_size: float  # |g| used in λ_σ (average group size)
+
+    def validate(self) -> None:
+        if min(self.T, self.K, self.E, self.S) < 1:
+            raise ValueError("T, K, E, S must all be >= 1")
+        if self.eta <= 0 or self.L <= 0:
+            raise ValueError("eta and L must be positive")
+        if min(self.sigma2, self.zeta2, self.zeta_g2) < 0:
+            raise ValueError("variance/heterogeneity terms must be >= 0")
+        if self.gamma < 1.0 - 1e-9 or self.Gamma < 1.0 - 1e-9:
+            raise ValueError("γ and Γ are >= 1 by construction (Eq. 11–12)")
+
+
+def lambda_constants(inp: BoundInputs) -> dict[str, float]:
+    """Evaluate the λ constants of Eq. (13)–(17).
+
+    λ₁ is set to its largest admissible value, ½ − 3λ_f·ηγΓKEL² (Eq. 14);
+    callers should check it is positive (the step-size condition).
+    """
+    eta, K, E, L = inp.eta, inp.K, inp.E, inp.L
+    g, G = inp.gamma, inp.Gamma
+    lam_s = eta * g * G * K**2 * (1.0 + 10.0 * eta**2 * E**2 * L**2 * inp.sigma2)
+    lam_f = 30.0 * eta**2 * K**2 * (1.0 + 90.0 * g * eta**2 * E**2 * L**2)
+    lam_1 = 0.5 - 3.0 * lam_f * eta * g * G * K * E * L**2
+    lam_sigma = (
+        5.0
+        * K
+        * eta**2
+        * E**2
+        * (
+            1.0
+            + ((1.0 + 6.0 * K) * E + 9.0 * K) * 10.0 * eta**2 * E * L**2
+            + 18.0 * K / (max(inp.group_size, 1.0) * E)
+        )
+    )
+    lam_2 = 3.0 * lam_sigma * g * L**2 + 5.0 * eta**2 * E**2 * L**2
+    lam_3 = 2700.0 * eta**4 * g * K**2 * E**4 * L**2
+    lam_4 = 90.0 * eta**2 * K**2 * E**2 * L**2
+    return {
+        "lambda_1": lam_1,
+        "lambda_2": lam_2,
+        "lambda_3": lam_3,
+        "lambda_4": lam_4,
+        "lambda_s": lam_s,
+        "lambda_f": lam_f,
+        "lambda_sigma": lam_sigma,
+    }
+
+
+def step_size_ok(inp: BoundInputs) -> bool:
+    """Check Eq. (14) (λ₁ > 0) and Eq. (18) (η ≤ 1/(2KE))."""
+    lam = lambda_constants(inp)
+    return lam["lambda_1"] > 0 and inp.eta <= 1.0 / (2.0 * inp.K * inp.E)
+
+
+def convergence_bound(inp: BoundInputs) -> float:
+    """Evaluate the right-hand side of Eq. (10).
+
+    Returns ``inf`` when the step-size conditions fail (the bound is then
+    vacuous).
+    """
+    inp.validate()
+    lam = lambda_constants(inp)
+    lam1 = lam["lambda_1"]
+    if lam1 <= 0 or inp.eta > 1.0 / (2.0 * inp.K * inp.E):
+        return float("inf")
+    T, K, E = inp.T, inp.K, inp.E
+    term_init = inp.f0_gap / (lam1 * inp.eta * T * K * E)
+    term_sampling = lam["lambda_s"] * (inp.Gamma_p / inp.S) / (lam1 * T * K * E)
+    term_hetero = (
+        inp.gamma
+        * inp.Gamma
+        * (lam["lambda_2"] * inp.sigma2 + lam["lambda_3"] * inp.zeta2 + lam["lambda_4"] * inp.zeta_g2)
+        / (lam1 * T)
+    )
+    return float(term_init + term_sampling + term_hetero)

@@ -1,0 +1,62 @@
+"""Group-character constants of Theorem 1 (Eq. 11–12).
+
+    γ  = |g|² · [ 1/|g|² + Var(n_i/n_g) ]
+    Γ  = |G|² · [ 1/|G|² + Var(n_g/n)  ]
+    Γ_p ≥ Σ_g 1/p_g
+
+§4.3's third observation: γ − 1 = (σ_c/μ_c)² — the squared CoV of the data
+*amounts* across the group's clients. Balanced data counts ⇒ γ → 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grouping.base import Group
+
+__all__ = ["gamma_of_group", "gamma_big", "gamma_p"]
+
+
+def _dispersion(counts: np.ndarray) -> float:
+    """k²·[1/k² + Var(c_i/total)] for a count vector of length k."""
+    counts = np.asarray(counts, dtype=np.float64)
+    k = counts.shape[0]
+    if k == 0:
+        raise ValueError("empty count vector")
+    total = counts.sum()
+    if total <= 0:
+        raise ValueError("counts must have positive sum")
+    shares = counts / total
+    return float(k * k * (1.0 / (k * k) + shares.var()))
+
+
+def gamma_of_group(group: Group | np.ndarray, client_sizes: np.ndarray | None = None) -> float:
+    """γ for one group (Eq. 11).
+
+    Accepts either a Group (with ``client_sizes`` giving n_i for all
+    clients) or a raw vector of the group's member data counts.
+    """
+    if isinstance(group, Group):
+        if client_sizes is None:
+            raise ValueError("client_sizes required when passing a Group")
+        counts = np.asarray(client_sizes, dtype=np.float64)[group.members]
+    else:
+        counts = np.asarray(group, dtype=np.float64)
+    return _dispersion(counts)
+
+
+def gamma_big(groups: list[Group] | np.ndarray) -> float:
+    """Γ over the group set (Eq. 12): dispersion of the n_g/n shares."""
+    if isinstance(groups, np.ndarray):
+        counts = groups
+    else:
+        counts = np.array([g.n_g for g in groups], dtype=np.float64)
+    return _dispersion(counts)
+
+
+def gamma_p(p: np.ndarray) -> float:
+    """Γ_p = Σ_g 1/p_g (its tight lower bound; Eq. 12's constraint)."""
+    p = np.asarray(p, dtype=np.float64)
+    if np.any(p <= 0):
+        return float("inf")
+    return float(np.sum(1.0 / p))

@@ -1,0 +1,121 @@
+"""Communication accounting for one Group-FEL global round.
+
+Message flows per Algorithm 1, for one sampled group g on edge j:
+
+1. cloud -> edge -> clients : global model download (once per global round)
+2. clients -> edge          : local model upload       (K times)
+3. edge -> clients          : group model distribution (K−1 times; the last
+                              group model goes up, not back down)
+4. edge -> cloud            : group model upload (once per global round)
+
+Wall-clock per tier assumes intra-group transfers are parallel across
+clients but serialized at the edge uplink (the usual access-network model);
+traffic totals count every byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grouping.base import Group
+from repro.topology.network import HierarchicalTopology
+
+__all__ = ["RoundTraffic", "CommModel"]
+
+
+@dataclass
+class RoundTraffic:
+    """Bytes and wall-clock seconds for one global round's communication."""
+
+    download_bytes: float
+    upload_bytes: float
+    wall_clock_s: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.download_bytes + self.upload_bytes
+
+
+class CommModel:
+    """Costs Algorithm 1's message flows over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The cloud-edge-client graph.
+    model_bytes:
+        Serialized model size (float64 params × 8 bytes, unless overridden).
+    payload_factor:
+        Upload multiplier for methods shipping extra state (SCAFFOLD = 2).
+    """
+
+    def __init__(
+        self,
+        topology: HierarchicalTopology,
+        model_bytes: float,
+        payload_factor: float = 1.0,
+    ):
+        if model_bytes <= 0:
+            raise ValueError(f"model_bytes must be positive, got {model_bytes}")
+        self.topology = topology
+        self.model_bytes = float(model_bytes)
+        self.payload_factor = float(payload_factor)
+
+    @classmethod
+    def for_model(
+        cls,
+        topology: HierarchicalTopology,
+        num_params: int,
+        payload_factor: float = 1.0,
+    ) -> "CommModel":
+        """Build from a parameter count (float64 wire format)."""
+        return cls(topology, model_bytes=8.0 * num_params, payload_factor=payload_factor)
+
+    def round_traffic(self, groups: list[Group], group_rounds: int) -> RoundTraffic:
+        """Traffic for one global round over the sampled groups."""
+        ce = self.topology.client_edge
+        ec = self.topology.edge_cloud
+        up_bytes = self.model_bytes * self.payload_factor
+        down_bytes = self.model_bytes
+
+        total_down = 0.0
+        total_up = 0.0
+        slowest_group = 0.0
+        for g in groups:
+            s = g.size
+            # 1. global model to each client (via its edge).
+            total_down += down_bytes * (1 + s)  # one edge copy + s client copies
+            # 2. K uploads from each client to the edge.
+            total_up += up_bytes * s * group_rounds
+            # 3. K-1 group-model redistributions to each client.
+            total_down += down_bytes * s * (group_rounds - 1)
+            # 4. one group model to the cloud.
+            total_up += up_bytes
+
+            # Wall clock: edge serializes its clients' uploads; downloads
+            # broadcast in parallel. Groups run in parallel across edges.
+            t_download = ec.transfer_time(down_bytes) + ce.transfer_time(down_bytes)
+            t_group_round = s * ce.transfer_time(up_bytes) + ce.transfer_time(down_bytes)
+            t_upload = ec.transfer_time(up_bytes)
+            t_total = t_download + group_rounds * t_group_round + t_upload
+            slowest_group = max(slowest_group, t_total)
+
+        return RoundTraffic(
+            download_bytes=total_down,
+            upload_bytes=total_up,
+            wall_clock_s=slowest_group,
+        )
+
+    def training_traffic(
+        self, per_round_groups: list[list[Group]], group_rounds: int
+    ) -> RoundTraffic:
+        """Accumulate traffic over a whole training run."""
+        down = up = wall = 0.0
+        for groups in per_round_groups:
+            t = self.round_traffic(groups, group_rounds)
+            down += t.download_bytes
+            up += t.upload_bytes
+            wall += t.wall_clock_s
+        return RoundTraffic(download_bytes=down, upload_bytes=up, wall_clock_s=wall)

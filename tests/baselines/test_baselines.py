@@ -1,0 +1,114 @@
+"""Tests for the method registry and FedCLAR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import METHODS, FedCLARTrainer, build_method
+from repro.core import TrainerConfig
+from repro.costs import paper_cost_model
+from repro.grouping import (
+    CDGGrouping,
+    CoVGrouping,
+    KLDGrouping,
+    RandomGrouping,
+    group_clients_per_edge,
+)
+from repro.nn import make_mlp
+
+
+def cfg(**kw):
+    base = dict(group_rounds=1, local_rounds=1, num_sampled=2, lr=0.08,
+                momentum=0.9, max_rounds=4, seed=0)
+    base.update(kw)
+    return TrainerConfig(**base)
+
+
+MODEL_FN = lambda: make_mlp(192, 10, hidden=(16,), seed=3)
+
+
+class TestRegistry:
+    def test_all_seven_methods_present(self):
+        assert set(METHODS) == {
+            "group_fel", "fedavg", "fedprox", "scaffold", "ouea", "share", "fedclar"
+        }
+
+    def test_unknown_method(self, small_fed, small_edges):
+        with pytest.raises(KeyError):
+            build_method("sgd", MODEL_FN, small_fed, small_edges, cfg())
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_every_method_builds_and_trains(self, small_fed, small_edges, name):
+        trainer = build_method(name, MODEL_FN, small_fed, small_edges, cfg(),
+                               group_size_knob=3, rng=0)
+        history = trainer.run()
+        assert len(history) > 0
+        assert history.final_accuracy > 0.15
+        assert history.total_cost > 0
+
+    def test_group_fel_uses_covg_and_esrcov(self, small_fed, small_edges):
+        trainer = build_method("group_fel", MODEL_FN, small_fed, small_edges,
+                               cfg(), group_size_knob=3, rng=0)
+        assert trainer.sampler.method == "esrcov"
+        assert trainer.label == "group_fel"
+
+    def test_fedavg_uses_uniform_sampling(self, small_fed, small_edges):
+        trainer = build_method("fedavg", MODEL_FN, small_fed, small_edges,
+                               cfg(sampling_method="esrcov"), rng=0)
+        # Spec overrides the config's sampling method.
+        assert trainer.sampler.method == "random"
+        assert np.allclose(trainer.sampler.p, trainer.sampler.p[0])
+
+    def test_scaffold_has_double_payload_cost(self, small_fed, small_edges):
+        fa = build_method("fedavg", MODEL_FN, small_fed, small_edges, cfg(),
+                          cost_model=paper_cost_model("cifar"), rng=0)
+        sc = build_method("scaffold", MODEL_FN, small_fed, small_edges, cfg(),
+                          cost_model=paper_cost_model("cifar"), rng=0)
+        assert sc.ledger.cost_model.group_op(10) > fa.ledger.cost_model.group_op(10)
+
+    def test_fedprox_has_training_overhead(self, small_fed, small_edges):
+        fa = build_method("fedavg", MODEL_FN, small_fed, small_edges, cfg(),
+                          cost_model=paper_cost_model("cifar"), rng=0)
+        fp = build_method("fedprox", MODEL_FN, small_fed, small_edges, cfg(),
+                          cost_model=paper_cost_model("cifar"), rng=0)
+        assert fp.ledger.cost_model.training(100) > fa.ledger.cost_model.training(100)
+
+
+class TestFedCLAR:
+    def make(self, small_fed, small_edges, cluster_round=2, max_rounds=5):
+        groups = group_clients_per_edge(
+            RandomGrouping(3), small_fed.L, small_edges, rng=0
+        )
+        return FedCLARTrainer(
+            MODEL_FN, small_fed, groups,
+            cfg(max_rounds=max_rounds),
+            cluster_round=cluster_round, num_clusters=3,
+        )
+
+    def test_clustering_triggers(self, small_fed, small_edges):
+        trainer = self.make(small_fed, small_edges)
+        trainer.run()
+        assert trainer.cluster_models is not None
+        assert trainer.client_cluster is not None
+        assert len(trainer.cluster_models) >= 2
+
+    def test_clusters_partition_clients(self, small_fed, small_edges):
+        trainer = self.make(small_fed, small_edges)
+        trainer.run()
+        all_members = np.concatenate(
+            [g.members for g in trainer.cluster_groups.values()]
+        )
+        assert sorted(all_members.tolist()) == list(range(small_fed.num_clients))
+
+    def test_history_continuous_across_clustering(self, small_fed, small_edges):
+        history = self.make(small_fed, small_edges).run()
+        assert history.rounds[-1] == 5
+        assert all(np.isfinite(history.test_acc))
+
+    def test_validation(self, small_fed, small_edges):
+        groups = group_clients_per_edge(
+            RandomGrouping(3), small_fed.L, small_edges, rng=0
+        )
+        with pytest.raises(ValueError):
+            FedCLARTrainer(MODEL_FN, small_fed, groups, cfg(), cluster_round=0)
+        with pytest.raises(ValueError):
+            FedCLARTrainer(MODEL_FN, small_fed, groups, cfg(), num_clusters=1)

@@ -1,0 +1,182 @@
+"""Tests for update compression and error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ErrorFeedback,
+    IdentityCompressor,
+    QuantizeCompressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+
+
+@pytest.fixture()
+def vec():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=500)
+
+
+class TestIdentity:
+    def test_lossless(self, vec):
+        out = IdentityCompressor().compress(vec)
+        assert np.array_equal(out.decoded, vec)
+        assert out.wire_bytes == 8 * vec.size
+
+    def test_ratio_one(self):
+        assert IdentityCompressor().compression_ratio(100) == pytest.approx(1.0)
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        v = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        out = TopKCompressor(fraction=0.4).compress(v)
+        assert np.allclose(out.decoded, [0, -5.0, 0, 3.0, 0])
+        assert out.meta["k"] == 2
+
+    def test_wire_bytes(self, vec):
+        out = TopKCompressor(0.1).compress(vec)
+        assert out.wire_bytes == 12 * 50
+
+    def test_compression_ratio(self):
+        ratio = TopKCompressor(0.1).compression_ratio(1000)
+        assert ratio == pytest.approx(8000 / 1200)
+
+    def test_full_fraction_lossless(self, vec):
+        out = TopKCompressor(1.0).compress(vec)
+        assert np.allclose(out.decoded, vec)
+
+    def test_error_is_smallest_entries(self, vec):
+        out = TopKCompressor(0.2).compress(vec)
+        err = vec - out.decoded
+        kept_min = np.abs(out.decoded[out.decoded != 0]).min()
+        assert np.abs(err).max() <= kept_min + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(1.5)
+
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_contraction_property(self, fraction):
+        """Top-k is a contraction: ‖x − C(x)‖ ≤ ‖x‖ (strictly better:
+        ≤ (1 − k/d)·‖x‖² in energy)."""
+        rng = np.random.default_rng(int(fraction * 1000))
+        x = rng.normal(size=200)
+        out = TopKCompressor(fraction).compress(x)
+        assert np.linalg.norm(x - out.decoded) <= np.linalg.norm(x) + 1e-12
+
+
+class TestRandomK:
+    def test_unbiased_in_expectation(self, vec):
+        acc = np.zeros_like(vec)
+        n = 400
+        comp = RandomKCompressor(0.25, unbiased=True)
+        for s in range(n):
+            acc += comp.compress(vec, rng=s).decoded
+        acc /= n
+        # Monte-Carlo mean approaches vec.
+        assert np.corrcoef(acc, vec)[0, 1] > 0.95
+
+    def test_biased_variant_no_scaling(self, vec):
+        out = RandomKCompressor(0.5, unbiased=False).compress(vec, rng=0)
+        nz = out.decoded != 0
+        assert np.allclose(out.decoded[nz], vec[nz])
+
+    def test_k_entries_kept(self, vec):
+        out = RandomKCompressor(0.1).compress(vec, rng=0)
+        assert (out.decoded != 0).sum() <= 50
+
+
+class TestQuantize:
+    def test_roundtrip_error_bound(self, vec):
+        out = QuantizeCompressor(bits=8).compress(vec)
+        step = (vec.max() - vec.min()) / 255
+        assert np.abs(out.decoded - vec).max() <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self, vec):
+        e4 = np.abs(QuantizeCompressor(4).compress(vec).decoded - vec).max()
+        e12 = np.abs(QuantizeCompressor(12).compress(vec).decoded - vec).max()
+        assert e12 < e4
+
+    def test_wire_bytes(self, vec):
+        out = QuantizeCompressor(bits=8).compress(vec)
+        assert out.wire_bytes == pytest.approx(500 + 16)
+
+    def test_constant_vector(self):
+        out = QuantizeCompressor(8).compress(np.full(10, 3.14))
+        assert np.allclose(out.decoded, 3.14)
+
+    def test_stochastic_unbiased(self):
+        v = np.array([0.3])  # sits between quantization levels
+        comp = QuantizeCompressor(bits=1, stochastic=True)
+        vals = [comp.compress(np.array([0.0, 0.3, 1.0]), rng=s).decoded[1]
+                for s in range(500)]
+        assert np.mean(vals) == pytest.approx(0.3, abs=0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizeCompressor(0)
+        with pytest.raises(ValueError):
+            QuantizeCompressor(32)
+
+
+class TestErrorFeedback:
+    def test_residual_accumulates_lost_signal(self):
+        ef = ErrorFeedback(TopKCompressor(0.1), num_params=100)
+        rng = np.random.default_rng(0)
+        update = rng.normal(size=100)
+        out = ef.compress(0, update)
+        residual = ef.residuals[0]
+        assert np.allclose(out.decoded + residual, update)
+
+    def test_signal_recovered_over_rounds(self):
+        """With a constant update, EF eventually transmits everything:
+        mean decoded over many rounds approaches the true update."""
+        ef = ErrorFeedback(TopKCompressor(0.05), num_params=60)
+        update = np.linspace(-1, 1, 60)
+        total = np.zeros(60)
+        rounds = 200
+        for _ in range(rounds):
+            total += ef.compress(0, update).decoded
+        # Exact conservation: transmitted + outstanding residual = all signal.
+        assert np.allclose(total + ef.residuals[0], rounds * update)
+        # And the time-average is close (residual stays bounded).
+        assert np.allclose(total / rounds, update, atol=0.08)
+
+    def test_per_sender_isolation(self):
+        ef = ErrorFeedback(TopKCompressor(0.1), num_params=50)
+        a = np.ones(50)
+        b = -np.ones(50)
+        ef.compress(0, a)
+        ef.compress(1, b)
+        assert not np.allclose(ef.residuals[0], ef.residuals[1])
+
+    def test_reset(self):
+        ef = ErrorFeedback(TopKCompressor(0.1), num_params=10)
+        ef.compress(0, np.ones(10))
+        ef.reset()
+        assert ef.residuals == {}
+
+    def test_residual_norm_diagnostic(self):
+        ef = ErrorFeedback(TopKCompressor(0.1), num_params=10)
+        assert ef.total_residual_norm() == 0.0
+        ef.compress(0, np.ones(10))
+        assert ef.total_residual_norm() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFeedback(IdentityCompressor(), 0)
+        ef = ErrorFeedback(IdentityCompressor(), 5)
+        with pytest.raises(ValueError):
+            ef.compress(0, np.ones(3))
+
+    def test_identity_compressor_zero_residual(self):
+        ef = ErrorFeedback(IdentityCompressor(), num_params=20)
+        ef.compress(0, np.ones(20))
+        assert np.allclose(ef.residuals[0], 0.0)

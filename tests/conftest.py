@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import FederatedDataset, SyntheticImage
+
+
+@pytest.fixture(scope="session")
+def small_fed() -> FederatedDataset:
+    """A small, skewed federated image dataset reused across tests."""
+    data = SyntheticImage(noise_std=2.0, seed=0)
+    train, test = data.train_test(4_000, 500)
+    return FederatedDataset.from_dataset(
+        train, test, num_clients=24, alpha=0.1, size_low=15, size_high=60, rng=11
+    )
+
+
+@pytest.fixture(scope="session")
+def small_edges() -> list[np.ndarray]:
+    """Two edge servers over the 24 clients of ``small_fed``."""
+    return [np.arange(0, 12), np.arange(12, 24)]
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

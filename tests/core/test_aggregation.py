@@ -1,0 +1,75 @@
+"""Tests for the aggregation kernel (Lines 14–15's weighted averaging)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import weighted_average
+
+
+class TestWeightedAverage:
+    def test_simple_mean(self):
+        params = np.array([[0.0, 0.0], [2.0, 4.0]])
+        out = weighted_average(params, np.array([0.5, 0.5]))
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_weights_used_verbatim_without_normalize(self):
+        params = np.array([[1.0], [1.0]])
+        out = weighted_average(params, np.array([2.0, 3.0]))
+        assert out[0] == pytest.approx(5.0)  # unbiased mode may exceed 1
+
+    def test_normalize(self):
+        params = np.array([[1.0], [3.0]])
+        out = weighted_average(params, np.array([2.0, 2.0]), normalize=True)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_out_buffer(self):
+        params = np.ones((3, 4))
+        buf = np.empty(4)
+        out = weighted_average(params, np.full(3, 1 / 3), out=buf)
+        assert out is buf
+        assert np.allclose(buf, 1.0)
+
+    def test_validations(self):
+        with pytest.raises(ValueError):
+            weighted_average(np.ones(3), np.ones(3))  # 1-D params
+        with pytest.raises(ValueError):
+            weighted_average(np.ones((2, 3)), np.ones(3))  # weight mismatch
+        with pytest.raises(ValueError):
+            weighted_average(np.ones((2, 3)), np.zeros(2), normalize=True)
+
+    @given(
+        st.integers(2, 8),
+        st.integers(1, 20),
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_convex_hull_property(self, k, dim, raw_weights):
+        """Normalized aggregation stays inside the models' bounding box —
+        averaging can never extrapolate."""
+        raw_weights = (raw_weights * k)[:k]
+        rng = np.random.default_rng(k * 100 + dim)
+        params = rng.normal(size=(k, dim))
+        out = weighted_average(params, np.array(raw_weights), normalize=True)
+        assert np.all(out <= params.max(axis=0) + 1e-9)
+        assert np.all(out >= params.min(axis=0) - 1e-9)
+
+    @given(st.integers(2, 6), st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_grouped_associativity(self, k, dim):
+        """Σ w_i x_i computed hierarchically (group then global, as
+        Algorithm 1 does) equals the flat weighted sum — the identity that
+        makes Eq. (3) consistent with Eq. (1)."""
+        rng = np.random.default_rng(k * 31 + dim)
+        params = rng.normal(size=(2 * k, dim))
+        n_i = rng.uniform(1, 10, size=2 * k)
+        flat = weighted_average(params, n_i / n_i.sum())
+        # Hierarchical: two groups of k, then combine by group mass.
+        g1 = weighted_average(params[:k], n_i[:k] / n_i[:k].sum())
+        g2 = weighted_average(params[k:], n_i[k:] / n_i[k:].sum())
+        combined = weighted_average(
+            np.stack([g1, g2]),
+            np.array([n_i[:k].sum(), n_i[k:].sum()]) / n_i.sum(),
+        )
+        assert np.allclose(flat, combined, atol=1e-10)

@@ -1,0 +1,111 @@
+"""Tests for the trainer callback framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Checkpointer,
+    EarlyStopping,
+    GroupFELTrainer,
+    MetricTracker,
+    RoundLogger,
+    TimeBudget,
+    TrainerConfig,
+)
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.nn import make_mlp
+
+
+def make_trainer(small_fed, small_edges, callbacks, max_rounds=6):
+    groups = group_clients_per_edge(
+        CoVGrouping(3, 0.5), small_fed.L, small_edges, rng=0
+    )
+    cfg = TrainerConfig(group_rounds=1, local_rounds=1, num_sampled=2,
+                        lr=0.08, momentum=0.9, max_rounds=max_rounds, seed=0)
+    return GroupFELTrainer(
+        lambda: make_mlp(192, 10, hidden=(16,), seed=3),
+        small_fed, groups, cfg, callbacks=callbacks,
+    )
+
+
+class TestRoundLogger:
+    def test_logs_every_round(self, small_fed, small_edges):
+        lines = []
+        trainer = make_trainer(small_fed, small_edges,
+                               [RoundLogger(printer=lines.append)], max_rounds=3)
+        trainer.run()
+        assert len(lines) == 3
+        assert "round" in lines[0] and "acc" in lines[0]
+
+    def test_every_n(self, small_fed, small_edges):
+        lines = []
+        trainer = make_trainer(small_fed, small_edges,
+                               [RoundLogger(every=2, printer=lines.append)],
+                               max_rounds=4)
+        trainer.run()
+        assert len(lines) == 2
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError):
+            RoundLogger(every=0)
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self, small_fed, small_edges):
+        # min_delta=1.0 means nothing ever counts as improvement.
+        cb = EarlyStopping(patience=2, min_delta=1.0)
+        trainer = make_trainer(small_fed, small_edges, [cb], max_rounds=10)
+        history = trainer.run()
+        assert cb.stopped_at is not None
+        assert history.rounds[-1] < 10
+
+    def test_does_not_stop_while_improving(self, small_fed, small_edges):
+        cb = EarlyStopping(patience=3, min_delta=0.0)
+        trainer = make_trainer(small_fed, small_edges, [cb], max_rounds=5)
+        history = trainer.run()
+        # Early rounds improve quickly; run should reach the limit.
+        assert history.rounds[-1] == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestCheckpointer:
+    def test_snapshots_taken(self, small_fed, small_edges):
+        cb = Checkpointer(every=2, keep_best=True)
+        trainer = make_trainer(small_fed, small_edges, [cb], max_rounds=5)
+        trainer.run()
+        assert set(cb.snapshots) == {2, 4}
+        assert cb.best_params is not None
+        assert cb.best_acc > 0
+
+    def test_snapshots_are_copies(self, small_fed, small_edges):
+        cb = Checkpointer(every=1, keep_best=False)
+        trainer = make_trainer(small_fed, small_edges, [cb], max_rounds=2)
+        trainer.run()
+        assert not np.shares_memory(cb.snapshots[1], trainer.global_params)
+
+
+class TestTimeBudget:
+    def test_stops_immediately_with_tiny_budget(self, small_fed, small_edges):
+        trainer = make_trainer(small_fed, small_edges, [TimeBudget(1e-9)],
+                               max_rounds=10)
+        history = trainer.run()
+        assert history.rounds[-1] == 1  # stops after the first round
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeBudget(0)
+
+
+class TestMetricTracker:
+    def test_tracks_custom_metric(self, small_fed, small_edges):
+        cb = MetricTracker({
+            "param_norm": lambda tr: float(np.linalg.norm(tr.global_params)),
+            "total_cost": lambda tr: tr.ledger.total,
+        })
+        trainer = make_trainer(small_fed, small_edges, [cb], max_rounds=3)
+        trainer.run()
+        assert len(cb.records["param_norm"]) == 3
+        assert cb.records["total_cost"] == sorted(cb.records["total_cost"])

@@ -1,0 +1,115 @@
+"""Tests for the local-update strategies (plain, FedProx, SCAFFOLD)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedProxStrategy, PlainSGDStrategy, ScaffoldStrategy
+
+
+class TestPlainSGD:
+    def test_no_offset(self):
+        s = PlainSGDStrategy()
+        assert s.grad_offset(0, np.ones(3), np.zeros(3)) is None
+
+    def test_unit_cost_factors(self):
+        s = PlainSGDStrategy()
+        assert s.training_factor == 1.0
+        assert s.payload_factor == 1
+
+
+class TestFedProx:
+    def test_offset_points_to_anchor(self):
+        s = FedProxStrategy(mu=0.1)
+        params = np.array([2.0, 0.0])
+        anchor = np.array([0.0, 0.0])
+        offset = s.grad_offset(0, params, anchor)
+        # Gradient ADDS mu·(x − anchor): descent pulls back toward anchor.
+        assert np.allclose(offset, [0.2, 0.0])
+
+    def test_zero_mu_is_plain(self):
+        s = FedProxStrategy(mu=0.0)
+        assert s.grad_offset(0, np.ones(2), np.zeros(2)) is None
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            FedProxStrategy(mu=-0.1)
+
+    def test_cost_factor_above_one(self):
+        assert FedProxStrategy().training_factor > 1.0
+
+    def test_proximal_limits_divergence(self):
+        """With a huge mu, local params cannot move far from the anchor."""
+        from repro.data import FederatedDataset, SyntheticImage
+        from repro.core.client import run_local_rounds
+        from repro.nn import SGD, make_mlp
+
+        data = SyntheticImage(seed=0)
+        train, test = data.train_test(500, 100)
+        fed = FederatedDataset.from_dataset(train, test, 4, alpha=0.2,
+                                            size_low=30, size_high=60, rng=0)
+        model = make_mlp(192, 10, hidden=(8,), seed=0)
+        opt = SGD(model, lr=0.1)
+        start = model.get_params()
+
+        free, _ = run_local_rounds(model, opt, fed.clients[0], start, 3, 16,
+                                   rng=0, strategy=PlainSGDStrategy())
+        prox, _ = run_local_rounds(model, opt, fed.clients[0], start, 3, 16,
+                                   rng=0, strategy=FedProxStrategy(mu=10.0))
+        assert np.linalg.norm(prox - start) < np.linalg.norm(free - start)
+
+
+class TestScaffold:
+    def test_requires_init(self):
+        s = ScaffoldStrategy()
+        with pytest.raises(RuntimeError):
+            s.grad_offset(0, np.ones(2), np.zeros(2))
+
+    def test_initial_offset_zero(self):
+        s = ScaffoldStrategy()
+        s.init_run(num_params=4, num_clients=3)
+        offset = s.grad_offset(0, np.ones(4), np.zeros(4))
+        assert np.allclose(offset, 0.0)
+
+    def test_control_variate_update_rule(self):
+        s = ScaffoldStrategy()
+        s.init_run(num_params=2, num_clients=2)
+        start = np.array([1.0, 1.0])
+        end = np.array([0.0, 0.5])
+        s.after_local(0, start, end, steps=5, lr=0.1)
+        # c_i⁺ = 0 − 0 + (start − end)/(5·0.1) = [2.0, 1.0].
+        assert np.allclose(s.c_clients[0], [2.0, 1.0])
+
+    def test_global_variate_averages_deltas(self):
+        s = ScaffoldStrategy()
+        s.init_run(num_params=1, num_clients=4)
+        s.after_local(0, np.array([1.0]), np.array([0.0]), steps=10, lr=0.1)
+        s.after_local(1, np.array([2.0]), np.array([0.0]), steps=10, lr=0.1)
+        s.after_global_round()
+        # Δc_0 = 1.0, Δc_1 = 2.0; c = (1+2)/4.
+        assert np.allclose(s.c_global, [0.75])
+        assert s._pending_deltas == []
+
+    def test_payload_factor_two(self):
+        assert ScaffoldStrategy().payload_factor == 2
+
+    def test_zero_steps_no_update(self):
+        s = ScaffoldStrategy()
+        s.init_run(2, 2)
+        s.after_local(0, np.zeros(2), np.zeros(2), steps=0, lr=0.1)
+        assert 0 not in s.c_clients or np.allclose(s.c_clients.get(0, 0), 0)
+
+    def test_variance_reduction_effect(self):
+        """Control variates pull two skewed clients' updates together."""
+        rng = np.random.default_rng(0)
+        s = ScaffoldStrategy()
+        s.init_run(num_params=3, num_clients=2)
+        # Simulate one round: both clients drift in opposite directions.
+        start = np.zeros(3)
+        s.after_local(0, start, np.array([1.0, 0, 0]), steps=10, lr=0.1)
+        s.after_local(1, start, np.array([-1.0, 0, 0]), steps=10, lr=0.1)
+        s.after_global_round()
+        # Next round: offsets now push client 0 against its own drift.
+        off0 = s.grad_offset(0, start, start)
+        off1 = s.grad_offset(1, start, start)
+        assert off0[0] > 0  # c − c_0 with c_0 negative-drift correction
+        assert off1[0] < 0

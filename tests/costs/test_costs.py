@@ -1,0 +1,154 @@
+"""Tests for the Eq. (5) cost model, calibrations, and the ledger."""
+
+import numpy as np
+import pytest
+
+from repro.costs import (
+    CostLedger,
+    CostModel,
+    LinearCost,
+    PAPER_CALIBRATIONS,
+    QuadraticCost,
+    fit_linear,
+    fit_quadratic,
+    paper_cost_model,
+)
+from repro.grouping import Group
+
+
+class TestCostPrimitives:
+    def test_linear(self):
+        h = LinearCost(c0=2.0, c1=0.5)
+        assert h(10) == 7.0
+        assert np.allclose(h(np.array([0, 2])), [2.0, 3.0])
+
+    def test_quadratic(self):
+        o = QuadraticCost(c0=1.0, c1=2.0, c2=3.0)
+        assert o(2) == 1 + 4 + 12
+
+    def test_client_round_cost(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=1.0))
+        # O(4) + E·H(10) = 16 + 2·10 = 36.
+        assert cm.client_round_cost(4, 10, local_rounds=2) == 36.0
+
+    def test_group_round_cost(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=1.0))
+        sizes = np.array([10, 20])
+        # 2 clients · O(2)=4 each + E=1 · (10+20) = 8 + 30.
+        assert cm.group_round_cost(2, sizes, local_rounds=1) == 38.0
+
+    def test_global_round_cost_eq5(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=1.0))
+        # Two groups, K=3 multiplies everything.
+        cost = cm.global_round_cost(
+            [2, 1], [np.array([10, 20]), np.array([5])], group_rounds=3, local_rounds=1
+        )
+        single = cm.group_round_cost(2, np.array([10, 20]), 1) + cm.group_round_cost(
+            1, np.array([5]), 1
+        )
+        assert cost == pytest.approx(3 * single)
+
+
+class TestFits:
+    def test_linear_fit_recovers(self):
+        x = np.arange(1, 20)
+        y = 3.0 + 0.7 * x
+        fit, r2 = fit_linear(x, y)
+        assert fit.c0 == pytest.approx(3.0)
+        assert fit.c1 == pytest.approx(0.7)
+        assert r2 == pytest.approx(1.0)
+
+    def test_quadratic_fit_recovers(self):
+        x = np.arange(1, 20)
+        y = 1.0 + 0.2 * x + 0.05 * x * x
+        fit, r2 = fit_quadratic(x, y)
+        assert fit.c2 == pytest.approx(0.05)
+        assert r2 == pytest.approx(1.0)
+
+    def test_fit_with_noise_good_r2(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(1, 50)
+        y = 2 * x + rng.normal(0, 0.5, size=x.shape)
+        _, r2 = fit_linear(x, y)
+        assert r2 > 0.99
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_linear(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_quadratic(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+
+class TestPaperCalibrations:
+    def test_all_tasks_present(self):
+        for task in ("cifar", "sc"):
+            for comp in ("training", "secagg", "scaffold_secagg", "backdoor"):
+                assert (task, comp) in PAPER_CALIBRATIONS
+
+    def test_scaffold_costlier_than_secagg(self):
+        for task in ("cifar", "sc"):
+            plain = PAPER_CALIBRATIONS[(task, "secagg")]
+            scaffold = PAPER_CALIBRATIONS[(task, "scaffold_secagg")]
+            assert scaffold(30) > plain(30)
+
+    def test_backdoor_cheapest_group_op(self):
+        for task in ("cifar", "sc"):
+            assert PAPER_CALIBRATIONS[(task, "backdoor")](30) < PAPER_CALIBRATIONS[
+                (task, "secagg")
+            ](30)
+
+    def test_sc_lighter_than_cifar(self):
+        assert PAPER_CALIBRATIONS[("sc", "training")](50) < PAPER_CALIBRATIONS[
+            ("cifar", "training")
+        ](50)
+
+    def test_paper_cost_model_composition(self):
+        stacked = paper_cost_model("cifar", "secagg+backdoor")
+        secagg = paper_cost_model("cifar", "secagg")
+        backdoor = paper_cost_model("cifar", "backdoor")
+        assert stacked.group_op(10) == pytest.approx(
+            secagg.group_op(10) + backdoor.group_op(10)
+        )
+
+    def test_training_factor(self):
+        base = paper_cost_model("cifar")
+        heavier = paper_cost_model("cifar", training_factor=1.5)
+        assert heavier.training(10) == pytest.approx(1.5 * base.training(10))
+
+    def test_unknown_task_or_op(self):
+        with pytest.raises(KeyError):
+            paper_cost_model("imagenet")
+        with pytest.raises(KeyError):
+            paper_cost_model("cifar", "teleport")
+
+
+class TestCostLedger:
+    def make_groups(self):
+        return [
+            Group(0, 0, np.array([0, 1]), np.array([20, 20])),
+            Group(1, 0, np.array([2]), np.array([10, 0])),
+        ]
+
+    def test_charge_accumulates(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=1.0))
+        ledger = CostLedger(cm, client_sizes=np.array([25, 15, 10]))
+        groups = self.make_groups()
+        c1 = ledger.charge_round(groups, group_rounds=2, local_rounds=1)
+        c2 = ledger.charge_round(groups, group_rounds=2, local_rounds=1)
+        assert c1 == c2 > 0
+        assert ledger.total == pytest.approx(c1 + c2)
+        assert np.allclose(ledger.cumulative(), [c1, c1 + c2])
+
+    def test_estimate_does_not_charge(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=1.0))
+        ledger = CostLedger(cm, client_sizes=np.array([25, 15, 10]))
+        est = ledger.estimate_round_cost(self.make_groups(), 2, 1)
+        assert est > 0
+        assert ledger.total == 0.0
+
+    def test_charge_uses_member_sizes(self):
+        cm = CostModel(LinearCost(c1=1.0), QuadraticCost(c2=0.0))
+        ledger = CostLedger(cm, client_sizes=np.array([25, 15, 10]))
+        groups = [Group(0, 0, np.array([0, 2]), np.array([35, 0]))]
+        # K=1, E=1: cost = H(25) + H(10) = 35.
+        assert ledger.charge_round(groups, 1, 1) == pytest.approx(35.0)

@@ -1,0 +1,71 @@
+"""Tests for the RPi measurement emulation (Figs. 2a / 8)."""
+
+import numpy as np
+import pytest
+
+from repro.costs import RPiEmulator
+
+
+@pytest.fixture(scope="module")
+def emu():
+    # Tiny dims so the whole module runs in seconds.
+    return RPiEmulator(model_dim=200, device_factor=1.0, repeats=1, seed=0)
+
+
+class TestRPiEmulator:
+    def test_training_is_linear(self, emu):
+        series = emu.measure_training([5, 20, 40, 80], task="cifar")
+        assert series.fit_kind == "linear"
+        assert series.fit_r2 > 0.9
+        # Monotone increasing in data size.
+        assert series.seconds[-1] > series.seconds[0]
+
+    def test_sc_training_cheaper_than_cifar(self, emu):
+        cifar = emu.measure_training([40], task="cifar")
+        sc = emu.measure_training([40], task="sc")
+        assert sc.seconds[0] < cifar.seconds[0]
+
+    def test_secagg_is_quadratic(self, emu):
+        series = emu.measure_secagg([2, 6, 12, 24], task="cifar")
+        assert series.fit_kind == "quadratic"
+        assert series.fit_r2 > 0.9
+        # Quadratic growth: doubling size should far more than double time.
+        assert series.seconds[-1] > 3.0 * series.seconds[-2]
+
+    def test_scaffold_secagg_costlier(self):
+        # Large payload + min-of-5 timing so the 2× masking work reliably
+        # dominates scheduler noise even with the suite running in parallel.
+        emu = RPiEmulator(model_dim=1500, device_factor=1.0, repeats=5, seed=0)
+        plain = emu.measure_secagg([24], payload_factor=1)
+        scaffold = emu.measure_secagg([24], payload_factor=2)
+        assert scaffold.seconds[0] > plain.seconds[0]
+        assert "SCAFFOLD" in scaffold.label
+
+    def test_backdoor_series(self, emu):
+        series = emu.measure_backdoor([2, 8, 16], task="sc")
+        assert series.fit_kind == "quadratic"
+        assert np.all(series.seconds >= 0)
+
+    def test_unknown_task(self, emu):
+        with pytest.raises(KeyError):
+            emu.measure_training([5], task="mnist")
+
+    def test_measurement_table_has_eight_curves(self, emu):
+        table = emu.measurement_table(sizes=(2, 5, 10), tasks=("cifar", "sc"))
+        labels = {m.label for m in table}
+        assert len(table) == 8
+        assert "cifar training" in labels
+        assert "sc SCAFFOLD SecAgg" in labels
+
+    def test_device_factor_scales_time(self):
+        slow = RPiEmulator(model_dim=100, device_factor=10.0, repeats=1, seed=0)
+        fast = RPiEmulator(model_dim=100, device_factor=1.0, repeats=1, seed=0)
+        t_slow = slow.measure_secagg([8]).seconds[0]
+        t_fast = fast.measure_secagg([8]).seconds[0]
+        assert t_slow > 2 * t_fast  # noisy, but 10× factor dominates
+
+    def test_as_rows(self, emu):
+        series = emu.measure_backdoor([2, 4])
+        rows = series.as_rows()
+        assert len(rows) == 2
+        assert {"label", "x", "seconds"} <= set(rows[0])

@@ -1,0 +1,74 @@
+"""Tests for the wall-clock round simulator."""
+
+import numpy as np
+import pytest
+
+from repro.costs import CostModel, LinearCost, QuadraticCost
+from repro.costs.wallclock import WallClockSimulator
+from repro.grouping import Group
+from repro.topology import CommModel, HierarchicalTopology
+
+
+@pytest.fixture()
+def sim():
+    topo = HierarchicalTopology(num_clients=12, num_edges=2)
+    cm = CostModel(LinearCost(c1=0.01), QuadraticCost(c2=0.001))
+    comm = CommModel.for_model(topo, num_params=1000)
+    return WallClockSimulator(topo, cm, comm), topo
+
+
+def group_of(members):
+    members = np.asarray(members)
+    return Group(int(members[0]), 0, members, np.array([10 * len(members)]))
+
+
+class TestWallClock:
+    def test_round_timing_positive(self, sim):
+        simulator, _ = sim
+        sizes = np.full(12, 50)
+        t = simulator.round_timing([group_of([0, 1, 2])], sizes, 2, 1)
+        assert t.total_s > 0
+        assert t.compute_s > 0
+        assert t.comm_s > 0
+        assert t.total_s <= t.compute_s + t.comm_s + 1e-9
+
+    def test_slowest_group_dominates(self, sim):
+        simulator, _ = sim
+        sizes = np.full(12, 50)
+        small, big = group_of([0, 1]), group_of([2, 3, 4, 5, 6])
+        t_small = simulator.round_timing([small], sizes, 2, 1).total_s
+        t_big = simulator.round_timing([big], sizes, 2, 1).total_s
+        t_both = simulator.round_timing([small, big], sizes, 2, 1)
+        assert t_both.total_s == pytest.approx(t_big)
+        assert t_both.bottleneck_group == big.group_id
+        assert t_big > t_small
+
+    def test_slow_client_straggles(self, sim):
+        simulator, topo = sim
+        sizes = np.full(12, 50)
+        base = simulator.round_timing([group_of([0, 1, 2])], sizes, 1, 1).total_s
+        topo.clients[1].compute_factor = 10.0
+        slow = simulator.round_timing([group_of([0, 1, 2])], sizes, 1, 1).total_s
+        assert slow > base
+        topo.clients[1].compute_factor = 1.0
+
+    def test_more_group_rounds_longer(self, sim):
+        simulator, _ = sim
+        sizes = np.full(12, 50)
+        t1 = simulator.round_timing([group_of([0, 1, 2])], sizes, 1, 1).total_s
+        t5 = simulator.round_timing([group_of([0, 1, 2])], sizes, 5, 1).total_s
+        assert t5 > 3 * t1
+
+    def test_training_time_accumulates(self, sim):
+        simulator, _ = sim
+        sizes = np.full(12, 50)
+        groups = [group_of([0, 1, 2])]
+        single = simulator.round_timing(groups, sizes, 1, 1).total_s
+        total = simulator.training_time_s([groups, groups, groups], sizes, 1, 1)
+        assert total == pytest.approx(3 * single)
+
+    def test_client_compute_uses_cost_model(self, sim):
+        simulator, _ = sim
+        # O(3) + 2·H(100) with c2=0.001, c1=0.01: 0.009 + 2·1.0.
+        t = simulator.client_compute_s(0, group_size=3, n_i=100, local_rounds=2)
+        assert t == pytest.approx(0.001 * 9 + 2 * 0.01 * 100)

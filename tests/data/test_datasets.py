@@ -1,0 +1,137 @@
+"""Tests for the synthetic datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ArrayDataset, SyntheticAudio, SyntheticImage, make_dataset
+
+
+class TestArrayDataset:
+    def test_length_and_shapes(self):
+        ds = ArrayDataset(np.zeros((10, 4)), np.zeros(10, dtype=int), 3)
+        assert len(ds) == 10
+        assert ds.feature_shape == (4,)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            ArrayDataset(np.zeros((10, 4)), np.zeros(9, dtype=int), 3)
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValueError, match="outside"):
+            ArrayDataset(np.zeros((2, 4)), np.array([0, 5]), 3)
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(20).reshape(10, 2), np.arange(10) % 3, 3)
+        sub = ds.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert np.allclose(sub.x, [[2, 3], [6, 7]])
+
+    def test_class_counts(self):
+        ds = ArrayDataset(np.zeros((6, 1)), np.array([0, 0, 1, 2, 2, 2]), 4)
+        assert np.array_equal(ds.class_counts(), [2, 1, 3, 0])
+
+
+class TestSyntheticImage:
+    def test_shapes_and_classes(self):
+        ds = SyntheticImage(num_classes=10, channels=3, image_size=8, seed=0)
+        d = ds.sample(100)
+        assert d.x.shape == (100, 3, 8, 8)
+        assert d.num_classes == 10
+        assert set(d.y.tolist()) == set(range(10))
+
+    def test_balanced_labels(self):
+        d = SyntheticImage(seed=0).sample(1000)
+        counts = d.class_counts()
+        assert counts.min() >= 90  # ~100 per class
+
+    def test_standardized(self):
+        d = SyntheticImage(seed=0).sample(2000)
+        assert abs(d.x.mean()) < 1e-9
+        assert d.x.std() == pytest.approx(1.0)
+
+    def test_difficulty_increases_with_noise(self):
+        """Higher noise ⇒ samples further from their class prototype."""
+        from repro.nn import SGD, make_mlp
+
+        accs = []
+        for noise in (1.0, 8.0):
+            ds = SyntheticImage(noise_std=noise, seed=0)
+            train, test = ds.train_test(2000, 500)
+            m = make_mlp(192, 10, hidden=(32,), seed=1)
+            opt = SGD(m, lr=0.1, momentum=0.9)
+            rng = np.random.default_rng(0)
+            for _ in range(5):
+                order = rng.permutation(len(train))
+                for s in range(0, len(train), 64):
+                    idx = order[s : s + 64]
+                    m.loss_and_grad(train.x[idx], train.y[idx])
+                    opt.step()
+            accs.append(m.evaluate(test.x, test.y)[1])
+        assert accs[0] > accs[1] + 0.1
+
+    def test_train_test_disjoint_draws(self):
+        ds = SyntheticImage(seed=0)
+        train, test = ds.train_test(100, 100)
+        # Different random draws: no identical rows expected.
+        assert not np.allclose(train.x[:10], test.x[:10])
+
+    def test_deterministic_with_seed(self):
+        a = SyntheticImage(seed=42).sample(50, rng=1)
+        b = SyntheticImage(seed=42).sample(50, rng=1)
+        assert np.allclose(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+
+class TestSyntheticAudio:
+    def test_shapes_and_classes(self):
+        ds = SyntheticAudio(num_classes=35, channels=8, seq_len=16, seed=0)
+        d = ds.sample(70)
+        assert d.x.shape == (70, 8, 16)
+        assert d.num_classes == 35
+
+    def test_covers_all_35_classes(self):
+        d = SyntheticAudio(seed=0).sample(350)
+        assert set(d.y.tolist()) == set(range(35))
+
+    def test_shift_invariance_structure(self):
+        """With zero noise, every sample is a circular shift of a prototype."""
+        ds = SyntheticAudio(noise_std=0.0, max_shift=2, seed=0)
+        d = ds.sample(20, rng=3)
+        protos = ds.prototypes
+        for i in range(20):
+            c = d.y[i]
+            dists = []
+            for shift in range(-2, 3):
+                shifted = np.roll(protos[c], shift, axis=1)
+                # Samples are re-standardized; compare up to affine scale.
+                a = d.x[i].ravel()
+                b = shifted.ravel()
+                corr = np.corrcoef(a, b)[0, 1]
+                dists.append(corr)
+            assert max(dists) > 0.99
+
+    def test_zero_shift_allowed(self):
+        d = SyntheticAudio(max_shift=0, seed=0).sample(10)
+        assert d.x.shape[0] == 10
+
+
+class TestRegistry:
+    def test_make_dataset_image(self):
+        assert isinstance(make_dataset("synthetic_image"), SyntheticImage)
+
+    def test_make_dataset_audio(self):
+        assert isinstance(make_dataset("synthetic_audio", num_classes=12), SyntheticAudio)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("cifar100")
+
+    @given(st.integers(2, 12), st.integers(10, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_sample_size_and_label_bounds(self, classes, n):
+        ds = SyntheticImage(num_classes=classes, seed=0)
+        d = ds.sample(n)
+        assert len(d) == n
+        assert d.y.min() >= 0 and d.y.max() < classes

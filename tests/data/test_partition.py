@@ -1,0 +1,122 @@
+"""Tests for Dirichlet partitioning and the label matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticImage, dirichlet_partition
+from repro.data.partition import label_matrix, normal_client_sizes, partition_dataset
+
+
+@pytest.fixture(scope="module")
+def labels():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 10, size=20_000)
+
+
+class TestNormalClientSizes:
+    def test_range_respected(self):
+        sizes = normal_client_sizes(500, low=20, high=200, rng=0)
+        assert sizes.min() >= 20 and sizes.max() <= 200
+
+    def test_mean_near_midpoint(self):
+        sizes = normal_client_sizes(2000, low=20, high=200, rng=0)
+        assert sizes.mean() == pytest.approx(110, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            normal_client_sizes(0)
+        with pytest.raises(ValueError):
+            normal_client_sizes(10, low=50, high=20)
+
+    def test_deterministic(self):
+        a = normal_client_sizes(100, rng=7)
+        b = normal_client_sizes(100, rng=7)
+        assert np.array_equal(a, b)
+
+
+class TestDirichletPartition:
+    def test_disjoint_and_exact_sizes(self, labels):
+        sizes = np.full(50, 100)
+        shards = dirichlet_partition(labels, 50, alpha=0.1, client_sizes=sizes, rng=0)
+        assert all(len(s) == 100 for s in shards)
+        flat = np.concatenate(shards)
+        assert len(flat) == len(set(flat.tolist()))
+
+    def test_small_alpha_is_more_skewed(self, labels):
+        def mean_max_share(alpha):
+            shards = dirichlet_partition(
+                labels, 40, alpha, client_sizes=np.full(40, 200), rng=1
+            )
+            L = label_matrix(shards, labels, 10)
+            shares = L / L.sum(axis=1, keepdims=True)
+            return shares.max(axis=1).mean()
+
+        assert mean_max_share(0.05) > mean_max_share(10.0) + 0.3
+
+    def test_too_many_samples_requested(self, labels):
+        with pytest.raises(ValueError, match="need"):
+            dirichlet_partition(
+                labels, 10, 1.0, client_sizes=np.full(10, 10_000), rng=0
+            )
+
+    def test_invalid_alpha(self, labels):
+        with pytest.raises(ValueError, match="alpha"):
+            dirichlet_partition(labels, 5, 0.0, rng=0)
+
+    def test_wrong_sizes_shape(self, labels):
+        with pytest.raises(ValueError, match="shape"):
+            dirichlet_partition(labels, 5, 1.0, client_sizes=np.full(4, 10), rng=0)
+
+    def test_default_sizes_even_split(self, labels):
+        shards = dirichlet_partition(labels, 10, 1.0, rng=0)
+        assert all(len(s) == len(labels) // 10 for s in shards)
+
+    def test_deterministic(self, labels):
+        a = dirichlet_partition(labels, 8, 0.5, rng=3)
+        b = dirichlet_partition(labels, 8, 0.5, rng=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    @given(st.floats(0.05, 10.0), st.integers(2, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_invariants(self, alpha, num_clients):
+        rng = np.random.default_rng(99)
+        labels = rng.integers(0, 5, size=3000)
+        sizes = np.full(num_clients, 50)
+        shards = dirichlet_partition(
+            labels, num_clients, alpha, client_sizes=sizes, rng=0
+        )
+        flat = np.concatenate(shards)
+        # Exact sizes, disjoint, valid indices.
+        assert len(flat) == num_clients * 50
+        assert len(set(flat.tolist())) == len(flat)
+        assert flat.min() >= 0 and flat.max() < 3000
+
+
+class TestLabelMatrix:
+    def test_rows_sum_to_shard_sizes(self, labels):
+        shards = dirichlet_partition(labels, 20, 0.2, rng=0)
+        L = label_matrix(shards, labels, 10)
+        assert np.array_equal(L.sum(axis=1), [len(s) for s in shards])
+
+    def test_counts_correct(self):
+        labels = np.array([0, 0, 1, 2, 1, 0])
+        shards = [np.array([0, 1, 2]), np.array([3, 4, 5])]
+        L = label_matrix(shards, labels, 3)
+        assert np.array_equal(L, [[2, 1, 0], [1, 1, 1]])
+
+
+class TestPartitionDataset:
+    def test_scales_down_when_data_scarce(self):
+        data = SyntheticImage(seed=0).sample(500)
+        shards, L = partition_dataset(data, 20, alpha=0.5, size_low=20, size_high=200, rng=0)
+        total = sum(len(s) for s in shards)
+        assert total <= 500
+        assert L.shape == (20, 10)
+
+    def test_respects_size_range_when_data_plentiful(self):
+        data = SyntheticImage(seed=0).sample(20_000)
+        shards, _ = partition_dataset(data, 30, alpha=0.5, size_low=20, size_high=100, rng=0)
+        sizes = np.array([len(s) for s in shards])
+        assert sizes.min() >= 20 and sizes.max() <= 100

@@ -1,0 +1,84 @@
+"""Tests for the alternative non-IID partition generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import quantity_skew_partition, shard_partition
+from repro.data.partition import label_matrix
+
+
+@pytest.fixture(scope="module")
+def labels():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 10, size=8000)
+
+
+class TestShardPartition:
+    def test_disjoint_cover(self, labels):
+        shards = shard_partition(labels, 20, shards_per_client=2, rng=0)
+        flat = np.concatenate(shards)
+        assert len(set(flat.tolist())) == len(flat) == labels.size
+
+    def test_few_classes_per_client(self, labels):
+        shards = shard_partition(labels, 40, shards_per_client=2, rng=0)
+        L = label_matrix(shards, labels, 10)
+        classes_per_client = (L > 0).sum(axis=1)
+        # Each client drew 2 contiguous label-sorted shards -> ≤ 4 classes
+        # (each shard can straddle one label boundary).
+        assert classes_per_client.max() <= 4
+        assert classes_per_client.mean() < 3.5
+
+    def test_more_shards_more_diversity(self, labels):
+        few = shard_partition(labels, 20, shards_per_client=1, rng=0)
+        many = shard_partition(labels, 20, shards_per_client=5, rng=0)
+        L_few = label_matrix(few, labels, 10)
+        L_many = label_matrix(many, labels, 10)
+        assert (L_many > 0).sum(axis=1).mean() > (L_few > 0).sum(axis=1).mean()
+
+    def test_validation(self, labels):
+        with pytest.raises(ValueError):
+            shard_partition(labels, 0)
+        with pytest.raises(ValueError):
+            shard_partition(np.zeros(5, dtype=int), 10, shards_per_client=2)
+
+
+class TestQuantitySkewPartition:
+    def test_disjoint_cover(self, labels):
+        shards = quantity_skew_partition(labels, 15, rng=0)
+        flat = np.concatenate(shards)
+        assert len(set(flat.tolist())) == len(flat) == labels.size
+
+    def test_min_samples_respected(self, labels):
+        shards = quantity_skew_partition(labels, 15, min_samples=20, rng=0)
+        assert min(len(s) for s in shards) >= 20
+
+    def test_sizes_are_skewed(self, labels):
+        shards = quantity_skew_partition(labels, 30, alpha=1.1, rng=0)
+        sizes = np.array([len(s) for s in shards])
+        assert sizes.max() > 3 * np.median(sizes)
+
+    def test_labels_stay_roughly_iid(self, labels):
+        """Quantity skew only: per-client label mix tracks the global mix."""
+        shards = quantity_skew_partition(labels, 10, min_samples=200, rng=0)
+        L = label_matrix(shards, labels, 10)
+        dist = L / L.sum(axis=1, keepdims=True)
+        global_dist = np.bincount(labels, minlength=10) / labels.size
+        assert np.abs(dist - global_dist).max() < 0.08
+
+    def test_validation(self, labels):
+        with pytest.raises(ValueError):
+            quantity_skew_partition(labels, 0)
+        with pytest.raises(ValueError):
+            quantity_skew_partition(labels, 10, alpha=0.0)
+        with pytest.raises(ValueError):
+            quantity_skew_partition(np.zeros(5, dtype=int), 10, min_samples=10)
+
+    @given(st.integers(2, 20), st.floats(0.5, 5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_property(self, clients, alpha):
+        rng = np.random.default_rng(clients)
+        labels = rng.integers(0, 4, size=1000)
+        shards = quantity_skew_partition(labels, clients, alpha=alpha, rng=0)
+        assert sum(len(s) for s in shards) == 1000

@@ -1,0 +1,38 @@
+"""Tests for the experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import GENERATORS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2a", "fig9", "table1"):
+            assert name in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_generators_cover_all_artifacts(self):
+        assert set(GENERATORS) == {
+            "fig2a", "fig2b", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "table1",
+        }
+
+    def test_fig5_text_output(self, capsys, monkeypatch):
+        # fig5 is the cheapest real generator at fast scale.
+        assert main(["fig5", "--scale", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "CoVG" in out and "KLDG" in out
+
+    def test_json_output(self, capsys):
+        assert main(["fig5", "--scale", "fast", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["figure"] == "5"
+        assert "CoVG" in data["series"]

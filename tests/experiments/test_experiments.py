@@ -1,0 +1,130 @@
+"""Tests for the experiment harness (configs, runner, report)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.experiments import (
+    SCALES,
+    format_series,
+    format_table,
+    get_scale,
+    make_audio_workload,
+    make_image_workload,
+    run_method,
+    run_methods,
+)
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import run_combo
+from repro.grouping import RandomGrouping
+
+
+def tiny_scale() -> ExperimentScale:
+    """A minimal scale so harness tests run in seconds."""
+    return replace(
+        SCALES["fast"],
+        num_clients=18,
+        num_edges=2,
+        size_low=15,
+        size_high=40,
+        train_samples=2_000,
+        test_samples=300,
+        max_rounds=3,
+        num_sampled=2,
+        min_group_size=3,
+        eval_every=1,
+        cost_budget=None,
+    )
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert {"fast", "paper"} <= set(SCALES)
+
+    def test_get_scale_by_name(self):
+        assert get_scale("paper").name == "paper"
+
+    def test_get_scale_passthrough(self):
+        s = tiny_scale()
+        assert get_scale(s) is s
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale(None).name == "paper"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_section7(self):
+        s = SCALES["paper"]
+        assert s.num_clients == 300
+        assert s.num_edges == 3
+        assert (s.size_low, s.size_high) == (20, 200)
+        assert s.group_rounds == 5 and s.local_rounds == 2
+        assert s.min_group_size == 5
+        assert s.cost_budget == 1.0e6
+
+
+class TestWorkloads:
+    def test_image_workload_shapes(self):
+        wl = make_image_workload(tiny_scale(), alpha=0.1, seed=0)
+        assert wl.fed.num_classes == 10
+        assert wl.fed.num_clients == 18
+        assert wl.task == "cifar"
+        assert len(wl.edge_assignment) == 2
+
+    def test_audio_workload_shapes(self):
+        wl = make_audio_workload(tiny_scale(), alpha=0.01, seed=0)
+        assert wl.fed.num_classes == 35
+        assert wl.task == "sc"
+
+    def test_same_seed_same_partition(self):
+        a = make_image_workload(tiny_scale(), alpha=0.1, seed=3)
+        b = make_image_workload(tiny_scale(), alpha=0.1, seed=3)
+        assert np.array_equal(a.fed.L, b.fed.L)
+
+    def test_different_seed_different_partition(self):
+        a = make_image_workload(tiny_scale(), alpha=0.1, seed=3)
+        b = make_image_workload(tiny_scale(), alpha=0.1, seed=4)
+        assert not np.array_equal(a.fed.L, b.fed.L)
+
+    def test_model_factory_fresh_instances(self):
+        wl = make_image_workload(tiny_scale(), seed=0)
+        m1, m2 = wl.model_fn(), wl.model_fn()
+        assert m1 is not m2
+        assert np.allclose(m1.get_params(), m2.get_params())
+
+
+class TestRunner:
+    def test_run_method_produces_history(self):
+        wl = make_image_workload(tiny_scale(), seed=0)
+        h = run_method("fedavg", wl)
+        assert len(h) == 3
+        assert h.label == "fedavg"
+
+    def test_run_methods_multiple(self):
+        wl = make_image_workload(tiny_scale(), seed=0)
+        out = run_methods(["fedavg", "group_fel"], wl)
+        assert set(out) == {"fedavg", "group_fel"}
+
+    def test_run_combo(self):
+        wl = make_image_workload(tiny_scale(), seed=0)
+        h = run_combo(RandomGrouping(3), "esrcov", wl, label="rg+covs")
+        assert h.label == "rg+covs"
+        assert h.total_cost > 0
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}]
+        text = format_table(rows, title="T")
+        assert "T" in text and "a" in text and "22" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_format_series(self):
+        series = {"m": {"x": [1, 2], "y": [0.1, 0.2]}}
+        text = format_series(series, "x", "y", title="S")
+        assert "m" in text and "(1, 0.1)" in text

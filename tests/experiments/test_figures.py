@@ -1,0 +1,127 @@
+"""Structural tests for every figure/table generator at a micro scale.
+
+The benchmarks assert the paper's claims; these tests only assert payload
+well-formedness, so generator code paths stay covered by `pytest tests/`
+without benchmark runtimes.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.experiments import (
+    SCALES,
+    fig2a_group_overheads,
+    fig2b_group_size,
+    fig5_grouping_runtime,
+    fig6_cov_vs_overhead,
+    fig7_sampling_methods,
+    fig8_rpi_measurement,
+    fig9_fig10_all_methods_cifar,
+    fig11_all_methods_sc,
+    fig12_grouping_x_sampling,
+    table1_maxcov_alpha,
+)
+
+
+@pytest.fixture(scope="module")
+def micro():
+    """Tiny scale: every figure generator finishes in a few seconds."""
+    return replace(
+        SCALES["fast"],
+        num_clients=16,
+        num_edges=2,
+        size_low=15,
+        size_high=30,
+        train_samples=1_200,
+        test_samples=200,
+        group_rounds=1,
+        local_rounds=1,
+        num_sampled=2,
+        max_rounds=2,
+        min_group_size=3,
+        cost_budget=None,
+        eval_every=1,
+    )
+
+
+def assert_curve_series(result, figure, labels=None, x_key="cost"):
+    assert result["figure"] == figure
+    series = result["series"]
+    assert series, "empty series"
+    if labels:
+        assert set(labels) <= set(series)
+    for label, data in series.items():
+        n = len(data["accuracy"])
+        assert n >= 1
+        assert len(data[x_key]) == n
+        assert all(0.0 <= a <= 1.0 for a in data["accuracy"])
+
+
+class TestTrainingFigures:
+    def test_fig2b(self, micro):
+        result = fig2b_group_size(micro, group_sizes=(3, 5), seed=0)
+        assert_curve_series(result, "2b", ["GS=3", "GS=5"])
+
+    def test_fig7(self, micro):
+        result = fig7_sampling_methods(micro, seed=0)
+        assert_curve_series(result, "7", ["Random", "RCoV", "SRCoV", "ESRCoV"])
+
+    def test_fig9_fig10(self, micro):
+        result = fig9_fig10_all_methods_cifar(
+            micro, seed=0, methods=["fedavg", "group_fel"]
+        )
+        assert_curve_series(result, "9+10", ["fedavg", "group_fel"])
+        # Both axes present for the two figures.
+        assert "round" in result["series"]["fedavg"]
+
+    def test_fig11(self, micro):
+        result = fig11_all_methods_sc(micro, seed=0, methods=["fedavg", "group_fel"])
+        assert_curve_series(result, "11")
+
+    def test_fig12(self, micro):
+        result = fig12_grouping_x_sampling(micro, seed=0)
+        assert_curve_series(
+            result, "12",
+            ["CoVG+RS", "RG+CoVS", "CoVG+CoVS", "KLDG+RS", "KLDG+CoVS"],
+        )
+
+
+class TestMeasurementFigures:
+    def test_fig2a(self, micro):
+        result = fig2a_group_overheads(micro)
+        assert result["figure"] == "2a"
+        assert len(result["series"]) == 3
+        for data in result["series"].values():
+            assert len(data["x"]) == len(data["seconds"])
+            assert data["fit"] in ("linear", "quadratic")
+
+    def test_fig5(self, micro):
+        result = fig5_grouping_runtime(micro, client_counts=(20, 40), seed=0)
+        assert set(result["series"]) == {"RG", "CDG", "KLDG", "CoVG"}
+        for data in result["series"].values():
+            assert data["clients"] == [20, 40]
+            assert all(t >= 0 for t in data["seconds"])
+
+    def test_fig6(self, micro):
+        result = fig6_cov_vs_overhead(micro, seed=0, size_knobs=(3, 5))
+        for data in result["series"].values():
+            assert len(data["avg_cov"]) == len(data["avg_overhead"]) >= 1
+
+    def test_fig8(self, micro):
+        result = fig8_rpi_measurement(micro)
+        assert len(result["series"]) == 8
+
+
+class TestTable1:
+    def test_structure(self, micro):
+        result = table1_maxcov_alpha(
+            micro, alphas=(0.1, 1.0), max_covs=(0.2, 1.0), seed=0
+        )
+        rows = result["rows"]
+        assert len(rows) == 4
+        for row in rows:
+            assert {"alpha", "MaxCoV", "GS_min", "GS_max", "GS_avg",
+                    "avg_cov", "accuracy"} <= set(row)
+            assert 0.0 <= row["accuracy"] <= 1.0
+            assert row["GS_min"] <= row["GS_avg"] <= row["GS_max"]

@@ -1,0 +1,85 @@
+"""Tests for multi-seed aggregation and result persistence."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.experiments import (
+    SCALES,
+    aggregate_histories,
+    load_result,
+    run_method_multiseed,
+    save_result,
+    make_image_workload,
+)
+from repro.metrics import TrainingHistory
+
+
+def fake_history(costs, accs):
+    h = TrainingHistory(label="x")
+    for i, (c, a) in enumerate(zip(costs, accs)):
+        h.record(i + 1, c, a, 1.0)
+    return h
+
+
+class TestAggregateHistories:
+    def test_mean_and_std(self):
+        h1 = fake_history([10, 20, 30], [0.1, 0.2, 0.3])
+        h2 = fake_history([10, 20, 30], [0.3, 0.4, 0.5])
+        agg = aggregate_histories([h1, h2], num_grid=3)
+        assert agg["seeds"] == 2
+        assert agg["final_mean"] == pytest.approx(0.4)
+        assert agg["final_std"] == pytest.approx(0.1)
+        assert agg["acc_mean"][-1] == pytest.approx(0.4)
+
+    def test_grid_respects_shortest_run(self):
+        h1 = fake_history([10, 20], [0.1, 0.2])
+        h2 = fake_history([10, 20, 100], [0.1, 0.2, 0.9])
+        agg = aggregate_histories([h1, h2], num_grid=5)
+        assert max(agg["cost"]) <= 20
+
+    def test_monotone_staircase(self):
+        h = fake_history([10, 20, 30], [0.1, 0.3, 0.2])
+        agg = aggregate_histories([h], num_grid=6)
+        assert np.all(np.diff(agg["acc_mean"]) >= -1e-12)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_histories([])
+
+
+class TestRunMethodMultiseed:
+    def test_runs_and_aggregates(self):
+        tiny = replace(
+            SCALES["fast"], num_clients=16, num_edges=2, size_low=15,
+            size_high=30, train_samples=1500, test_samples=200,
+            max_rounds=2, num_sampled=2, min_group_size=3,
+            cost_budget=None, eval_every=1,
+        )
+        agg = run_method_multiseed(
+            "fedavg",
+            lambda seed: make_image_workload(tiny, alpha=0.3, seed=seed),
+            seeds=[0, 1],
+        )
+        assert agg["method"] == "fedavg"
+        assert agg["seeds"] == 2
+        assert 0 <= agg["final_mean"] <= 1
+
+    def test_no_seeds_raises(self):
+        with pytest.raises(ValueError):
+            run_method_multiseed("fedavg", lambda s: None, seeds=[])
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        payload = {"figure": "9", "series": {"a": {"x": [1, 2], "y": [0.1, 0.2]}}}
+        path = tmp_path / "fig9.json"
+        save_result(payload, path)
+        assert load_result(path) == payload
+
+    def test_numpy_values_serialized(self, tmp_path):
+        payload = {"v": np.float64(0.5), "arr": [np.float64(1.0)]}
+        path = tmp_path / "r.json"
+        save_result(payload, path)
+        out = load_result(path)
+        assert out["v"] == 0.5

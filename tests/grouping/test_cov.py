@@ -1,0 +1,111 @@
+"""Tests for CoV statistics (Eq. 26–28) and the KLD criterion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grouping import cov_of_counts, cov_paper_eq27, group_cov, kl_divergence
+from repro.grouping.cov import sigma_mu
+
+
+class TestCoV:
+    def test_balanced_group_zero(self):
+        assert cov_of_counts(np.array([10, 10, 10, 10])) == 0.0
+
+    def test_single_class_maximal_among_fixed_total(self):
+        m = 5
+        total = 100
+        single = np.zeros(m)
+        single[0] = total
+        balanced = np.full(m, total / m)
+        mild = np.array([30, 25, 20, 15, 10])
+        assert cov_of_counts(single) > cov_of_counts(mild) > cov_of_counts(balanced)
+
+    def test_known_value(self):
+        # counts [2,0]: μ=1, σ=sqrt(((2-1)²+(0-1)²)/2)=1 → CoV=1.
+        assert cov_of_counts(np.array([2, 0])) == pytest.approx(1.0)
+
+    def test_empty_group_is_inf(self):
+        assert cov_of_counts(np.zeros(4)) == np.inf
+
+    def test_scale_invariance(self):
+        """CoV is invariant to scaling all counts — unlike the variance.
+
+        This is the paper's argument for CoV over variance (§5.1).
+        """
+        counts = np.array([5.0, 3.0, 2.0])
+        assert cov_of_counts(counts) == pytest.approx(cov_of_counts(counts * 7))
+
+    def test_variance_not_scale_invariant(self):
+        counts = np.array([5.0, 3.0, 2.0])
+        sigma1, _ = sigma_mu(counts)
+        sigma2, _ = sigma_mu(counts * 7)
+        assert sigma2 > sigma1  # σ grows with scale; CoV does not
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 20, size=(8, 5)).astype(float)
+        vec = cov_of_counts(counts)
+        for i in range(8):
+            assert vec[i] == pytest.approx(cov_of_counts(counts[i]))
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValueError):
+            cov_of_counts(np.zeros((2, 2, 2)))
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=12).filter(lambda c: sum(c) > 0))
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_and_zero_iff_balanced(self, counts):
+        c = np.array(counts, dtype=float)
+        cov = cov_of_counts(c)
+        assert cov >= 0.0
+        if np.all(c == c[0]):
+            assert cov == pytest.approx(0.0)
+        elif len(set(counts)) > 1:
+            assert cov > 0.0
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=8).filter(lambda c: sum(c) > 0))
+    @settings(max_examples=30, deadline=None)
+    def test_paper_eq27_monotone_with_canonical_at_fixed_total(self, counts):
+        """For fixed n_g and m, eq27 = CoV · sqrt(m/n_g) · μ — a fixed
+        positive multiple, so the two orderings agree within a scan."""
+        c = np.array(counts, dtype=float)
+        m = c.shape[0]
+        n_g = c.sum()
+        canonical = cov_of_counts(c)
+        literal = cov_paper_eq27(c)
+        expected = canonical * (n_g / m) * np.sqrt(m / n_g)
+        assert literal == pytest.approx(expected, rel=1e-9)
+
+
+class TestGroupCov:
+    def test_group_cov_from_label_matrix(self):
+        L = np.array([[4, 0], [0, 4], [2, 2]])
+        assert group_cov(L, [0, 1]) == pytest.approx(0.0)
+        assert group_cov(L, [0]) == pytest.approx(1.0)
+        assert group_cov(L, [0, 1, 2]) == pytest.approx(0.0)
+
+
+class TestKLD:
+    def test_zero_for_uniform(self):
+        assert kl_divergence(np.array([10, 10, 10])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_skew(self):
+        assert kl_divergence(np.array([30, 0, 0])) > 1.0
+
+    def test_against_reference(self):
+        counts = np.array([30.0, 10.0])
+        ref = np.array([0.75, 0.25])
+        assert kl_divergence(counts, ref) == pytest.approx(0.0, abs=1e-6)
+
+    def test_vectorized(self):
+        counts = np.array([[10, 10], [20, 0]])
+        out = kl_divergence(counts)
+        assert out.shape == (2,)
+        assert out[0] < out[1]
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=10).filter(lambda c: sum(c) > 0))
+    @settings(max_examples=30, deadline=None)
+    def test_kld_nonnegative(self, counts):
+        assert kl_divergence(np.array(counts, dtype=float)) >= -1e-12

@@ -1,0 +1,228 @@
+"""Tests for the four grouping algorithms (Algorithm 2 and baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grouping import (
+    CDGGrouping,
+    CoVGrouping,
+    Group,
+    KLDGrouping,
+    RandomGrouping,
+    cov_of_counts,
+    evaluate_grouping,
+    group_clients_per_edge,
+    make_grouper,
+)
+
+
+def skewed_label_matrix(n=40, m=10, alpha=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    props = rng.dirichlet(np.full(m, alpha), size=n)
+    return np.stack([rng.multinomial(60, props[i]) for i in range(n)])
+
+
+def assert_valid_partition(groups, n):
+    members = np.concatenate([g.members for g in groups])
+    assert sorted(members.tolist()) == list(range(n)), "not a partition of clients"
+
+
+class TestGroupDataclass:
+    def test_properties(self):
+        g = Group(0, 1, np.array([3, 5]), np.array([4, 0, 4]))
+        assert g.size == 2
+        assert g.n_g == 8
+        assert g.cov == pytest.approx(cov_of_counts(np.array([4, 0, 4])))
+
+
+class TestCoVGrouping:
+    def test_partition_valid(self):
+        L = skewed_label_matrix()
+        groups = CoVGrouping(4, 0.5).group(L, np.arange(40), rng=0)
+        assert_valid_partition(groups, 40)
+
+    def test_min_group_size_enforced(self):
+        L = skewed_label_matrix()
+        groups = CoVGrouping(5, 0.5).group(L, np.arange(40), rng=0)
+        assert all(g.size >= 5 for g in groups)
+
+    def test_label_counts_are_member_sums(self):
+        L = skewed_label_matrix()
+        for g in CoVGrouping(4, 0.5).group(L, np.arange(40), rng=1):
+            assert np.array_equal(g.label_counts, L[g.members].sum(axis=0))
+
+    def test_beats_random_on_cov(self):
+        """The headline property: CoVG's average CoV < RG's (Fig. 6)."""
+        L = skewed_label_matrix(n=60)
+        covg = CoVGrouping(5, 0.3).group(L, np.arange(60), rng=0)
+        rg = RandomGrouping(group_size=7).group(L, np.arange(60), rng=0)
+        mean_cov = lambda gs: np.mean([g.cov for g in gs])
+        assert mean_cov(covg) < mean_cov(rg)
+
+    def test_tight_max_cov_gives_larger_groups(self):
+        """Smaller MaxCoV ⇒ groups must grow to balance (Table 1's trend)."""
+        L = skewed_label_matrix(n=60)
+        tight = CoVGrouping(3, 0.1).group(L, np.arange(60), rng=0)
+        loose = CoVGrouping(3, 1.5).group(L, np.arange(60), rng=0)
+        assert np.mean([g.size for g in tight]) >= np.mean([g.size for g in loose])
+
+    def test_loose_max_cov_gives_min_size_groups(self):
+        """With MaxCoV=∞ every group stops exactly at MinGS."""
+        L = skewed_label_matrix()
+        groups = CoVGrouping(4, float("inf")).group(L, np.arange(40), rng=0)
+        assert all(g.size == 4 for g in groups)
+
+    def test_single_client(self):
+        L = np.array([[5, 5]])
+        groups = CoVGrouping(3, 0.5).group(L, np.array([7]), rng=0)
+        assert len(groups) == 1
+        assert groups[0].members.tolist() == [7]
+
+    def test_client_id_mapping(self):
+        L = skewed_label_matrix(n=10)
+        ids = np.arange(100, 110)
+        groups = CoVGrouping(3, 0.5).group(L, ids, rng=0)
+        all_ids = np.concatenate([g.members for g in groups])
+        assert sorted(all_ids.tolist()) == list(range(100, 110))
+
+    def test_deterministic_given_rng(self):
+        L = skewed_label_matrix()
+        a = CoVGrouping(4, 0.5).group(L, np.arange(40), rng=42)
+        b = CoVGrouping(4, 0.5).group(L, np.arange(40), rng=42)
+        assert [g.members.tolist() for g in a] == [g.members.tolist() for g in b]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CoVGrouping(0, 0.5)
+        with pytest.raises(ValueError):
+            CoVGrouping(3, -1.0)
+
+    @given(st.integers(6, 40), st.integers(2, 8), st.floats(0.1, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_property(self, n, m, max_cov):
+        rng = np.random.default_rng(n * 10 + m)
+        props = rng.dirichlet(np.full(m, 0.2), size=n)
+        L = np.stack([rng.multinomial(40, props[i]) for i in range(n)])
+        groups = CoVGrouping(min(3, n), max_cov).group(L, np.arange(n), rng=0)
+        assert_valid_partition(groups, n)
+        assert sum(g.n_g for g in groups) == L.sum()
+
+
+class TestRandomGrouping:
+    def test_partition_and_sizes(self):
+        L = skewed_label_matrix()
+        groups = RandomGrouping(group_size=6).group(L, np.arange(40), rng=0)
+        assert_valid_partition(groups, 40)
+        # 40 = 6*6 + 4 -> remainder merged into last group.
+        sizes = sorted(g.size for g in groups)
+        assert sizes == [6, 6, 6, 6, 6, 10]
+
+    def test_no_merge_remainder(self):
+        L = skewed_label_matrix()
+        groups = RandomGrouping(6, merge_remainder=False).group(L, np.arange(40), rng=0)
+        assert sorted(g.size for g in groups) == [4, 6, 6, 6, 6, 6, 6]
+
+    def test_different_rng_different_partition(self):
+        L = skewed_label_matrix()
+        a = RandomGrouping(5).group(L, np.arange(40), rng=1)
+        b = RandomGrouping(5).group(L, np.arange(40), rng=2)
+        assert [g.members.tolist() for g in a] != [g.members.tolist() for g in b]
+
+
+class TestCDGGrouping:
+    def test_partition_valid(self):
+        L = skewed_label_matrix()
+        groups = CDGGrouping(group_size=5).group(L, np.arange(40), rng=0)
+        assert_valid_partition(groups, 40)
+
+    def test_balanced_sizes(self):
+        L = skewed_label_matrix(n=40)
+        groups = CDGGrouping(group_size=5).group(L, np.arange(40), rng=0)
+        sizes = [g.size for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_better_than_random_on_cov(self):
+        """Cluster-then-distribute mixes client types: beats RG on average."""
+        L = skewed_label_matrix(n=80, alpha=0.05, seed=3)
+        trials = []
+        for r in range(5):
+            cdg = CDGGrouping(group_size=8).group(L, np.arange(80), rng=r)
+            rg = RandomGrouping(group_size=8).group(L, np.arange(80), rng=r)
+            trials.append(
+                np.mean([g.cov for g in cdg]) <= np.mean([g.cov for g in rg]) + 0.05
+            )
+        assert sum(trials) >= 3
+
+
+class TestKLDGrouping:
+    def test_partition_valid(self):
+        L = skewed_label_matrix()
+        groups = KLDGrouping(min_group_size=4).group(L, np.arange(40), rng=0)
+        assert_valid_partition(groups, 40)
+
+    def test_reduces_kld_vs_random(self):
+        from repro.grouping.cov import kl_divergence
+
+        L = skewed_label_matrix(n=60)
+        kldg = KLDGrouping(min_group_size=5).group(L, np.arange(60), rng=0)
+        rg = RandomGrouping(group_size=7).group(L, np.arange(60), rng=0)
+        mean_kld = lambda gs: np.mean([kl_divergence(g.label_counts) for g in gs])
+        assert mean_kld(kldg) < mean_kld(rg)
+
+
+class TestGroupClientsPerEdge:
+    def test_groups_stay_within_edges(self, small_fed, small_edges):
+        groups = group_clients_per_edge(
+            CoVGrouping(3, 0.5), small_fed.L, small_edges, rng=0
+        )
+        for g in groups:
+            edge_clients = set(small_edges[g.edge_id].tolist())
+            assert set(g.members.tolist()) <= edge_clients
+
+    def test_global_ids_assigned(self, small_fed, small_edges):
+        groups = group_clients_per_edge(
+            RandomGrouping(4), small_fed.L, small_edges, rng=0
+        )
+        assert [g.group_id for g in groups] == list(range(len(groups)))
+
+    def test_all_clients_covered(self, small_fed, small_edges):
+        groups = group_clients_per_edge(
+            CoVGrouping(3, 0.5), small_fed.L, small_edges, rng=0
+        )
+        members = np.concatenate([g.members for g in groups])
+        assert sorted(members.tolist()) == list(range(small_fed.num_clients))
+
+
+class TestRegistryAndMetrics:
+    def test_make_grouper(self):
+        assert isinstance(make_grouper("covg"), CoVGrouping)
+        assert isinstance(make_grouper("rg", group_size=3), RandomGrouping)
+        assert isinstance(make_grouper("cdg"), CDGGrouping)
+        assert isinstance(make_grouper("kldg"), KLDGrouping)
+
+    def test_make_grouper_unknown(self):
+        with pytest.raises(KeyError):
+            make_grouper("magic")
+
+    def test_evaluate_grouping_stats(self):
+        L = skewed_label_matrix()
+        groups = RandomGrouping(5).group(L, np.arange(40), rng=0)
+        rep = evaluate_grouping(groups)
+        assert rep.num_groups == len(groups)
+        assert rep.size_min <= rep.size_avg <= rep.size_max
+        assert rep.avg_cov > 0
+
+    def test_evaluate_empty_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_grouping([])
+
+    def test_overhead_grows_with_group_size(self):
+        L = skewed_label_matrix(n=40)
+        small = RandomGrouping(4).group(L, np.arange(40), rng=0)
+        large = RandomGrouping(10).group(L, np.arange(40), rng=0)
+        assert (
+            evaluate_grouping(large).avg_overhead
+            > evaluate_grouping(small).avg_overhead
+        )

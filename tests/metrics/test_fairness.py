@@ -1,0 +1,79 @@
+"""Tests for the fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import FederatedDataset, SyntheticImage
+from repro.grouping import Group
+from repro.metrics import participation_counts, per_client_accuracy
+from repro.nn import make_mlp
+
+
+@pytest.fixture(scope="module")
+def setting():
+    data = SyntheticImage(noise_std=2.0, seed=0)
+    train, test = data.train_test(2000, 200)
+    fed = FederatedDataset.from_dataset(
+        train, test, num_clients=8, alpha=0.3, size_low=20, size_high=40, rng=0
+    )
+    return fed, make_mlp(192, 10, hidden=(16,), seed=0)
+
+
+class TestPerClientAccuracy:
+    def test_report_fields(self, setting):
+        fed, model = setting
+        rep = per_client_accuracy(model, fed.clients)
+        assert rep.accuracies.shape == (8,)
+        assert rep.min <= rep.p10 <= rep.mean + 1e-9
+        assert rep.std >= 0
+        assert rep.cov >= 0
+
+    def test_uses_given_params(self, setting):
+        fed, model = setting
+        p_rand = model.get_params().copy()
+        rep1 = per_client_accuracy(model, fed.clients, params=p_rand)
+        rep2 = per_client_accuracy(model, fed.clients, params=p_rand * 0)
+        # Zero model predicts one class everywhere: different accuracies.
+        assert not np.allclose(rep1.accuracies, rep2.accuracies)
+
+    def test_perfect_model_is_fair(self, setting):
+        fed, model = setting
+        # Train briefly on ALL data; accuracy dispersion should be finite
+        # and cov computable.
+        rep = per_client_accuracy(model, fed.clients)
+        assert np.isfinite(rep.cov) or rep.mean == 0
+
+
+class TestParticipationCounts:
+    def test_counts(self):
+        g1 = Group(0, 0, np.array([0, 1]), np.array([5]))
+        g2 = Group(1, 0, np.array([1, 2]), np.array([5]))
+        counts = participation_counts([[g1], [g1, g2]], num_clients=4)
+        assert counts.tolist() == [2, 3, 1, 0]
+
+    def test_empty_rounds(self):
+        assert participation_counts([], 3).tolist() == [0, 0, 0]
+
+    def test_concentration_under_esrcov(self):
+        """CoV-prioritized sampling participates fewer distinct clients
+        than uniform — the fairness concern the paper flags."""
+        from repro.data import SyntheticImage, FederatedDataset
+        from repro.grouping import CoVGrouping, group_clients_per_edge
+        from repro.sampling import GroupSampler
+
+        data = SyntheticImage(seed=0)
+        train, test = data.train_test(3000, 200)
+        fed = FederatedDataset.from_dataset(
+            train, test, num_clients=20, alpha=0.1, size_low=15, size_high=40, rng=1
+        )
+        groups = group_clients_per_edge(
+            CoVGrouping(3, 0.5), fed.L, [np.arange(20)], rng=0
+        )
+        rounds = 30
+        coverage = {}
+        for method in ("random", "esrcov"):
+            sampler = GroupSampler(groups, method=method, num_sampled=1, rng=2)
+            sampled = [sampler.sample()[0] for _ in range(rounds)]
+            counts = participation_counts(sampled, 20)
+            coverage[method] = int((counts > 0).sum())
+        assert coverage["esrcov"] <= coverage["random"]

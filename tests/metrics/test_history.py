@@ -1,0 +1,82 @@
+"""Tests for TrainingHistory and the cost/accuracy curve helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import TrainingHistory
+from repro.metrics.history import accuracy_at_cost, cost_to_accuracy
+
+
+class TestTrainingHistory:
+    def make(self):
+        h = TrainingHistory(label="test")
+        for r, c, a, l in [(1, 100, 0.2, 2.0), (2, 250, 0.5, 1.2), (3, 400, 0.45, 1.3)]:
+            h.record(r, c, a, l)
+        return h
+
+    def test_record_and_len(self):
+        h = self.make()
+        assert len(h) == 3
+        assert h.rounds == [1, 2, 3]
+
+    def test_final_and_best(self):
+        h = self.make()
+        assert h.final_accuracy == 0.45
+        assert h.best_accuracy == 0.5
+        assert h.total_cost == 400
+
+    def test_empty_history(self):
+        h = TrainingHistory()
+        assert h.final_accuracy == 0.0
+        assert h.best_accuracy == 0.0
+        assert h.total_cost == 0.0
+
+    def test_as_arrays(self):
+        arrays = self.make().as_arrays()
+        assert set(arrays) == {"round", "cost", "test_acc", "test_loss"}
+        assert np.array_equal(arrays["cost"], [100, 250, 400])
+
+    def test_accuracy_at_cost(self):
+        h = self.make()
+        assert h.accuracy_at_cost(99) == 0.0
+        assert h.accuracy_at_cost(100) == 0.2
+        assert h.accuracy_at_cost(300) == 0.5
+        assert h.accuracy_at_cost(1e9) == 0.5  # best within budget
+
+    def test_cost_to_accuracy(self):
+        h = self.make()
+        assert h.cost_to_accuracy(0.2) == 100
+        assert h.cost_to_accuracy(0.45) == 250  # first crossing
+        assert h.cost_to_accuracy(0.9) == np.inf
+
+
+class TestCurveHelpers:
+    def test_accuracy_at_cost_empty_mask(self):
+        assert accuracy_at_cost(np.array([10.0]), np.array([0.5]), 5.0) == 0.0
+
+    def test_cost_to_accuracy_never(self):
+        assert cost_to_accuracy(np.array([1.0, 2.0]), np.array([0.1, 0.2]), 0.5) == np.inf
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_budget(self, accs):
+        costs = np.arange(1, len(accs) + 1, dtype=float) * 10
+        accs_arr = np.array(accs)
+        budgets = [5.0, 100.0, 1000.0]
+        values = [accuracy_at_cost(costs, accs_arr, b) for b in budgets]
+        assert values[0] <= values[1] <= values[2]
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_duality(self, accs):
+        """If accuracy_at_cost(b) >= a then cost_to_accuracy(a) <= b."""
+        costs = np.cumsum(np.ones(len(accs))) * 7
+        accs_arr = np.array(accs)
+        target = 0.5
+        c = cost_to_accuracy(costs, accs_arr, target)
+        if c < np.inf:
+            assert accuracy_at_cost(costs, accs_arr, c) >= target

@@ -1,0 +1,101 @@
+"""Tests for LayerNorm and average pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool1d,
+    AvgPool2d,
+    Dense,
+    Flatten,
+    LayerNorm,
+    ReLU,
+    Sequential,
+)
+from tests.nn.test_layers import check_gradients
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestLayerNorm:
+    def test_normalizes_each_sample(self, rng):
+        ln = LayerNorm(20)
+        x = rng.normal(loc=7.0, scale=3.0, size=(8, 20))
+        out = ln.forward(x, training=True)
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-9)
+        assert np.allclose(out.var(axis=1), 1.0, atol=1e-3)
+
+    def test_no_running_statistics(self):
+        """The FL-friendly property: LayerNorm has no non-trainable state."""
+        ln = LayerNorm(10)
+        assert all(ln.trainable.values())
+        assert set(ln.params) == {"gamma", "beta"}
+
+    def test_train_eval_consistent(self, rng):
+        ln = LayerNorm(12)
+        x = rng.normal(size=(4, 12))
+        assert np.allclose(
+            ln.forward(x, training=True), ln.forward(x, training=False)
+        )
+
+    def test_gradients(self, rng):
+        model = Sequential([Dense(5, 6, rng), LayerNorm(6), ReLU(), Dense(6, 3, rng)])
+        x = rng.normal(size=(4, 5))
+        y = rng.integers(0, 3, size=4)
+        check_gradients(model, x, y, tol=1e-5)
+
+    def test_multidim_shape(self, rng):
+        ln = LayerNorm((3, 4, 4))
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = ln.forward(x, training=True)
+        assert out.shape == x.shape
+        flat = out.reshape(2, -1)
+        assert np.allclose(flat.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="feature shape"):
+            LayerNorm(8).forward(rng.normal(size=(2, 9)))
+
+
+class TestAvgPool2d:
+    def test_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2).forward(x)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradients(self, rng):
+        model = Sequential([AvgPool2d(2), Flatten(), Dense(4, 2, rng)])
+        x = rng.normal(size=(2, 1, 4, 4))
+        y = rng.integers(0, 2, size=2)
+        check_gradients(model, x, y)
+
+    def test_grad_spreads_evenly(self):
+        pool = AvgPool2d(2)
+        x = np.zeros((1, 1, 4, 4))
+        pool.forward(x, training=True)
+        g = pool.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(g, 0.25)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+
+
+class TestAvgPool1d:
+    def test_values(self):
+        x = np.array([[[1.0, 3.0, 5.0, 7.0]]])
+        out = AvgPool1d(2).forward(x)
+        assert np.allclose(out, [[[2.0, 6.0]]])
+
+    def test_gradients(self, rng):
+        model = Sequential([AvgPool1d(2), Flatten(), Dense(4, 2, rng)])
+        x = rng.normal(size=(2, 1, 8))
+        y = rng.integers(0, 2, size=2)
+        check_gradients(model, x, y)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            AvgPool1d(3).forward(np.zeros((1, 1, 4)))

@@ -1,0 +1,147 @@
+"""Tests for the numerical kernels (im2col, softmax, initializers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    col2im_1d,
+    im2col,
+    im2col_1d,
+    log_softmax,
+    one_hot,
+    softmax,
+    xavier_uniform,
+    kaiming_normal,
+)
+
+
+class TestIm2col:
+    def test_identity_kernel_1x1(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 4, 4))
+        cols, (oh, ow) = im2col(x, 1)
+        assert (oh, ow) == (4, 4)
+        assert np.allclose(
+            cols.reshape(2, 4, 4, 3).transpose(0, 3, 1, 2), x
+        )
+
+    def test_output_shape(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols, (oh, ow) = im2col(x, 3, stride=1, pad=1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2 * 8 * 8, 3 * 9)
+
+    def test_stride_two(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, (oh, ow) = im2col(x, 2, stride=2)
+        assert (oh, ow) == (2, 2)
+        # First patch is the top-left 2x2 block.
+        assert np.allclose(cols[0], [0, 1, 4, 5])
+
+    def test_matches_direct_convolution(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        cols, (oh, ow) = im2col(x, 3, stride=1, pad=0)
+        out = (cols @ w.reshape(3, -1).T).reshape(2, oh, ow, 3).transpose(0, 3, 1, 2)
+        # Direct (slow) convolution reference.
+        ref = np.zeros((2, 3, 3, 3))
+        for n in range(2):
+            for co in range(3):
+                for i in range(3):
+                    for j in range(3):
+                        ref[n, co, i, j] = (x[n, :, i:i+3, j:j+3] * w[co]).sum()
+        assert np.allclose(out, ref)
+
+    def test_invalid_geometry_raises(self):
+        x = np.zeros((1, 1, 2, 2))
+        with pytest.raises(ValueError, match="output size"):
+            im2col(x, 5)
+
+    def test_col2im_adjoint_property(self):
+        """<im2col(x), y> == <x, col2im(y)> — the adjoint identity."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, 3, stride=1, pad=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, stride=1, pad=1)
+        rhs = float((x * back).sum())
+        assert np.isclose(lhs, rhs)
+
+
+class TestIm2col1d:
+    def test_shapes(self):
+        x = np.zeros((2, 4, 16))
+        cols, ol = im2col_1d(x, 3, stride=1, pad=1)
+        assert ol == 16
+        assert cols.shape == (2 * 16, 4 * 3)
+
+    def test_adjoint_property(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 10))
+        cols, _ = im2col_1d(x, 3, stride=1, pad=1)
+        y = rng.normal(size=cols.shape)
+        back = col2im_1d(y, x.shape, 3, stride=1, pad=1)
+        assert np.isclose((cols * y).sum(), (x * back).sum())
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        p = softmax(rng.normal(size=(8, 5)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_shift_invariance(self):
+        z = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(z), softmax(z + 100.0))
+
+    def test_extreme_logits_stable(self):
+        z = np.array([[1e4, -1e4, 0.0]])
+        p = softmax(z)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(4, 6))
+        assert np.allclose(log_softmax(z), np.log(softmax(z)))
+
+    @given(st.integers(2, 10), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_probability_simplex(self, classes, batch):
+        rng = np.random.default_rng(classes * 100 + batch)
+        p = softmax(rng.normal(scale=5.0, size=(batch, classes)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            one_hot(np.array([3]), 3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, (100, 100), 100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_kaiming_scale(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_normal(rng, (10000,), 50)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 50), rel=0.05)

@@ -1,0 +1,114 @@
+"""Tests for the 'split' (coordination-guard) detection criterion."""
+
+import numpy as np
+import pytest
+
+from repro.secure import BackdoorDetector
+
+
+def coordinated_attack_setting(num_honest=8, num_attackers=3, dim=150, seed=0):
+    """Honest updates: mutually near-orthogonal (independent shards).
+    Attackers: tight cluster around a shared poisoned direction."""
+    rng = np.random.default_rng(seed)
+    honest = rng.normal(size=(num_honest, dim))  # near-orthogonal in high dim
+    poison_dir = rng.normal(size=dim)
+    attackers = poison_dir + 0.1 * rng.normal(size=(num_attackers, dim))
+    return np.vstack([honest, attackers]), num_honest
+
+
+class TestSplitCriterion:
+    def test_flags_coordinated_minority(self):
+        updates, n_honest = coordinated_attack_setting()
+        det = BackdoorDetector(criterion="split", separation_factor=1.5)
+        report = det.detect(updates, rng=0)
+        assert set(report.flagged.tolist()) == {8, 9, 10}
+
+    def test_honest_only_admits_all(self):
+        rng = np.random.default_rng(1)
+        honest = rng.normal(size=(10, 150))
+        det = BackdoorDetector(criterion="split", separation_factor=1.5)
+        report = det.detect(honest, rng=0)
+        assert report.flagged.size == 0
+
+    def test_majority_attackers_not_flagged(self):
+        """If attackers are the majority, the (minority) honest side is
+        looser — the guard refuses to flag it."""
+        rng = np.random.default_rng(2)
+        poison_dir = rng.normal(size=100)
+        attackers = poison_dir + 0.1 * rng.normal(size=(6, 100))
+        honest = rng.normal(size=(3, 100))
+        det = BackdoorDetector(criterion="split", separation_factor=1.5)
+        report = det.detect(np.vstack([attackers, honest]), rng=0)
+        # Honest minority is LOOSE, so it must not be flagged; the
+        # coordinated majority cannot be flagged either (majority rule).
+        assert not set(report.flagged.tolist()) & {6, 7, 8} or report.flagged.size == 0
+
+    def test_even_split_admits_all(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=100) + 0.05 * rng.normal(size=(4, 100))
+        b = -a[0] + 0.05 * rng.normal(size=(4, 100))
+        det = BackdoorDetector(criterion="split")
+        report = det.detect(np.vstack([a, b]), rng=0)
+        assert report.flagged.size == 0  # 4 vs 4 is ambiguous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackdoorDetector(criterion="hdbscan")
+        with pytest.raises(ValueError):
+            BackdoorDetector(criterion="split", separation_factor=1.0)
+
+    def test_clipping_still_applies(self):
+        updates, _ = coordinated_attack_setting()
+        updates[0] *= 50.0  # an honest client with a huge update
+        det = BackdoorDetector(criterion="split", separation_factor=1.5)
+        report = det.detect(updates, rng=0)
+        norms = np.linalg.norm(report.filtered, axis=1)
+        assert norms.max() <= report.clip_norm * (1 + 1e-9)
+
+
+class TestSessionBan:
+    def test_flagged_client_stays_banned_within_group_session(self):
+        """A detected attacker must not be re-admitted at later group
+        rounds of the same session (run_group_round's ban set)."""
+        from repro.attacks import TriggerBackdoorAttack, poison_federation
+        from repro.core import run_group_round
+        from repro.data import FederatedDataset, SyntheticImage
+        from repro.grouping import Group
+        from repro.nn import SGD, make_mlp
+
+        data = SyntheticImage(noise_std=2.0, seed=0)
+        train, test = data.train_test(2500, 300)
+        fed = FederatedDataset.from_dataset(
+            train, test, num_clients=8, alpha=0.5, size_low=40, size_high=60, rng=0
+        )
+        attack = TriggerBackdoorAttack(target_class=0, poison_fraction=0.9, boost=6.0)
+        transforms = poison_federation(fed, [0, 1, 2], attack, rng=0)
+        group = Group(0, 0, np.arange(8), fed.L.sum(axis=0))
+        model = make_mlp(192, 10, hidden=(16,), seed=1)
+        opt = SGD(model, lr=0.1, momentum=0.9)
+        detector = BackdoorDetector(criterion="split", separation_factor=1.5)
+
+        calls = []
+        original = BackdoorDetector.detect
+
+        def spy(self, updates, rng=None):
+            report = original(self, updates, rng)
+            calls.append((updates.shape[0], report.flagged.tolist()))
+            return report
+
+        BackdoorDetector.detect = spy
+        try:
+            run_group_round(
+                model, opt, group, fed.clients, model.get_params(),
+                group_rounds=3, local_rounds=2, batch_size=16, rng=0,
+                backdoor_detector=detector, update_transforms=transforms,
+            )
+        finally:
+            BackdoorDetector.detect = original
+
+        # Once the coordinated trio is flagged, later rounds see 5 inputs.
+        flagged_round = next(
+            (i for i, (_, f) in enumerate(calls) if len(f) == 3), None
+        )
+        if flagged_round is not None and flagged_round + 1 < len(calls):
+            assert calls[flagged_round + 1][0] == 5

@@ -1,0 +1,110 @@
+"""Tests for Shamir sharing and dropout-tolerant secure aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secure import (
+    DropoutTolerantAggregator,
+    PRIME,
+    reconstruct_secret,
+    split_secret,
+)
+
+
+class TestShamir:
+    def test_roundtrip(self):
+        shares = split_secret(987654321, 5, 3, rng=0)
+        assert reconstruct_secret(shares[:3]) == 987654321
+
+    def test_any_threshold_subset_works(self):
+        secret = 2**63 - 7
+        shares = split_secret(secret, 6, 3, rng=1)
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert reconstruct_secret(list(subset)) == secret
+
+    def test_fewer_than_threshold_fails(self):
+        """t−1 shares reveal nothing: reconstruction gives a wrong value
+        (with overwhelming probability over the random polynomial)."""
+        secret = 42
+        shares = split_secret(secret, 5, 3, rng=2)
+        assert reconstruct_secret(shares[:2]) != secret
+
+    def test_extra_shares_fine(self):
+        secret = 1234
+        shares = split_secret(secret, 5, 2, rng=3)
+        assert reconstruct_secret(shares) == secret
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_secret(-1, 3, 2)
+        with pytest.raises(ValueError):
+            split_secret(PRIME, 3, 2)
+        with pytest.raises(ValueError):
+            split_secret(5, 3, 4)
+        with pytest.raises(ValueError):
+            reconstruct_secret([])
+        with pytest.raises(ValueError):
+            reconstruct_secret([(1, 2), (1, 3)])
+
+    @given(st.integers(0, 2**64 - 1), st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, secret, threshold):
+        shares = split_secret(secret, 6, threshold, rng=secret % 1000)
+        assert reconstruct_secret(shares[:threshold]) == secret
+
+
+class TestDropoutTolerantAggregator:
+    def test_no_dropout_equals_plain_sum(self):
+        rng = np.random.default_rng(0)
+        vecs = rng.normal(size=(5, 30))
+        res = DropoutTolerantAggregator(threshold=2).aggregate(vecs, rng=0)
+        assert np.allclose(res.total, vecs.sum(axis=0), atol=1e-6)
+        assert res.reconstructed_pairs == 0
+
+    def test_single_dropout_recovered(self):
+        rng = np.random.default_rng(1)
+        vecs = rng.normal(size=(5, 30))
+        res = DropoutTolerantAggregator(threshold=2).aggregate(
+            vecs, dropped={2}, rng=0
+        )
+        assert np.allclose(res.total, vecs[[0, 1, 3, 4]].sum(axis=0), atol=1e-6)
+        assert res.reconstructed_pairs == 4  # one per survivor
+        assert res.survivors.tolist() == [0, 1, 3, 4]
+
+    def test_multiple_dropouts(self):
+        rng = np.random.default_rng(2)
+        vecs = rng.normal(size=(6, 20))
+        res = DropoutTolerantAggregator(threshold=3).aggregate(
+            vecs, dropped={0, 5}, rng=0
+        )
+        assert np.allclose(res.total, vecs[1:5].sum(axis=0), atol=1e-6)
+        assert res.shares_used > 0
+
+    def test_too_many_dropouts_unrecoverable(self):
+        vecs = np.ones((4, 10))
+        with pytest.raises(ValueError, match="unrecoverable"):
+            DropoutTolerantAggregator(threshold=3).aggregate(
+                vecs, dropped={0, 1}, rng=0
+            )
+
+    def test_invalid_dropped_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DropoutTolerantAggregator().aggregate(np.ones((3, 5)), dropped={7})
+
+    @given(st.integers(3, 7), st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_recovery_property(self, s, num_drops):
+        rng = np.random.default_rng(s * 10 + num_drops)
+        vecs = rng.normal(size=(s, 12))
+        dropped = set(range(num_drops))
+        survivors = [i for i in range(s) if i not in dropped]
+        if len(survivors) < 2:
+            return
+        res = DropoutTolerantAggregator(threshold=2).aggregate(
+            vecs, dropped=dropped, rng=0
+        )
+        assert np.allclose(res.total, vecs[survivors].sum(axis=0), atol=1e-5)

@@ -1,0 +1,83 @@
+"""Tests for the parallel executors and RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelMap, available_backends
+from repro.rng import derive_seed, make_rng, spawn, spawn_many
+
+
+class TestParallelMap:
+    def test_backends_listed(self):
+        assert set(available_backends()) == {"serial", "thread", "process"}
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ParallelMap("gpu")
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_map_preserves_order(self, backend):
+        pm = ParallelMap(backend, max_workers=4)
+        out = pm.map(lambda x: x * x, list(range(20)))
+        assert out == [x * x for x in range(20)]
+
+    def test_process_backend(self):
+        pm = ParallelMap("process", max_workers=2)
+        out = pm.map(abs, [-3, -1, 2])
+        assert out == [3, 1, 2]
+
+    def test_starmap(self):
+        pm = ParallelMap("serial")
+        assert pm.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+
+    def test_single_item_short_circuits(self):
+        pm = ParallelMap("thread")
+        assert pm.map(lambda x: x + 1, [41]) == [42]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelMap("thread", max_workers=0)
+
+    def test_thread_map_numpy_work(self):
+        pm = ParallelMap("thread", max_workers=4)
+        mats = [np.full((50, 50), i, dtype=float) for i in range(8)]
+        out = pm.map(lambda m: float((m @ m).sum()), mats)
+        expected = [float((m @ m).sum()) for m in mats]
+        assert out == pytest.approx(expected)
+
+
+class TestRng:
+    def test_make_rng_from_int(self):
+        a = make_rng(5).random(3)
+        b = make_rng(5).random(3)
+        assert np.allclose(a, b)
+
+    def test_make_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_children_independent(self):
+        root = make_rng(0)
+        a, b = spawn_many(root, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_spawn_single(self):
+        child = spawn(make_rng(0))
+        assert isinstance(child, np.random.Generator)
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_many(make_rng(0), -1)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "client", 3) == derive_seed(42, "client", 3)
+
+    def test_derive_seed_path_sensitive(self):
+        assert derive_seed(42, "client", 3) != derive_seed(42, "client", 4)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_in_range(self):
+        for i in range(20):
+            s = derive_seed(i, "x")
+            assert 0 <= s < 2**63

@@ -1,0 +1,188 @@
+"""Tests for Theorem 1's constants, bound, and heterogeneity estimators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grouping import Group
+from repro.theory import (
+    BoundInputs,
+    convergence_bound,
+    estimate_gradient_noise,
+    estimate_group_heterogeneity,
+    estimate_local_heterogeneity,
+    gamma_big,
+    gamma_of_group,
+    gamma_p,
+    lambda_constants,
+    step_size_ok,
+)
+
+
+def base_inputs(**overrides):
+    d = dict(
+        f0_gap=2.0, eta=0.01, T=100, K=5, E=2, L=1.0,
+        sigma2=1.0, zeta2=1.0, zeta_g2=1.0,
+        gamma=1.1, Gamma=1.2, Gamma_p=100.0, S=4, group_size=5.0,
+    )
+    d.update(overrides)
+    return BoundInputs(**d)
+
+
+class TestGroupConstants:
+    def test_gamma_balanced_counts_is_one(self):
+        """γ = 1 exactly when every client holds the same amount of data."""
+        assert gamma_of_group(np.array([50.0, 50.0, 50.0])) == pytest.approx(1.0)
+
+    def test_gamma_grows_with_dispersion(self):
+        balanced = gamma_of_group(np.array([50.0, 50.0]))
+        skewed = gamma_of_group(np.array([95.0, 5.0]))
+        assert skewed > balanced
+
+    def test_gamma_minus_one_is_squared_cov(self):
+        """§4.3: γ − 1 = (σ_c/μ_c)² over client data counts."""
+        counts = np.array([10.0, 30.0, 20.0, 40.0])
+        gamma = gamma_of_group(counts)
+        cov2 = (counts.std() / counts.mean()) ** 2
+        assert gamma - 1.0 == pytest.approx(cov2)
+
+    def test_gamma_from_group_object(self):
+        g = Group(0, 0, np.array([1, 3]), np.array([30]))
+        sizes = np.array([0, 10, 0, 20])
+        assert gamma_of_group(g, sizes) == gamma_of_group(np.array([10.0, 20.0]))
+
+    def test_gamma_requires_sizes_with_group(self):
+        g = Group(0, 0, np.array([0]), np.array([5]))
+        with pytest.raises(ValueError):
+            gamma_of_group(g)
+
+    def test_gamma_big(self):
+        groups = [
+            Group(0, 0, np.array([0]), np.array([100])),
+            Group(1, 0, np.array([1]), np.array([100])),
+        ]
+        assert gamma_big(groups) == pytest.approx(1.0)
+
+    def test_gamma_p_uniform(self):
+        assert gamma_p(np.full(10, 0.1)) == pytest.approx(100.0)
+
+    def test_gamma_p_infinite_for_zero_prob(self):
+        assert gamma_p(np.array([1.0, 0.0])) == np.inf
+
+    def test_gamma_p_grows_with_skewness(self):
+        assert gamma_p(np.array([0.9, 0.1])) > gamma_p(np.array([0.5, 0.5]))
+
+    @given(st.lists(st.integers(1, 200), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_gamma_at_least_one(self, counts):
+        assert gamma_of_group(np.array(counts, dtype=float)) >= 1.0 - 1e-12
+
+
+class TestBound:
+    def test_positive_and_finite(self):
+        assert 0 < convergence_bound(base_inputs()) < np.inf
+
+    def test_monotone_in_zeta_g(self):
+        """Key observation 1: group heterogeneity slows convergence."""
+        bounds = [convergence_bound(base_inputs(zeta_g2=z)) for z in (0.0, 1.0, 5.0)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_monotone_in_gamma_p(self):
+        """Key observation 2: sampling dispersion slows convergence."""
+        bounds = [convergence_bound(base_inputs(Gamma_p=g)) for g in (10, 100, 1000)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_monotone_in_gamma(self):
+        """Key observation 3: data-count dispersion slows convergence."""
+        bounds = [convergence_bound(base_inputs(gamma=g)) for g in (1.0, 1.5, 3.0)]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_decays_with_T(self):
+        b10 = convergence_bound(base_inputs(T=10))
+        b100 = convergence_bound(base_inputs(T=100))
+        b1000 = convergence_bound(base_inputs(T=1000))
+        assert b10 > b100 > b1000
+        assert b10 / b100 == pytest.approx(10.0, rel=1e-6)  # O(1/T) rate
+
+    def test_more_sampled_groups_help(self):
+        assert convergence_bound(base_inputs(S=10)) < convergence_bound(base_inputs(S=1))
+
+    def test_step_size_violation_returns_inf(self):
+        # η way above 1/(2KE).
+        assert convergence_bound(base_inputs(eta=1.0)) == np.inf
+
+    def test_step_size_ok(self):
+        assert step_size_ok(base_inputs())
+        assert not step_size_ok(base_inputs(eta=1.0))
+
+    def test_lambda1_positive_for_small_eta(self):
+        lam = lambda_constants(base_inputs())
+        assert 0 < lam["lambda_1"] <= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convergence_bound(base_inputs(T=0))
+        with pytest.raises(ValueError):
+            convergence_bound(base_inputs(gamma=0.5))
+        with pytest.raises(ValueError):
+            convergence_bound(base_inputs(sigma2=-1.0))
+
+
+class TestHeterogeneityEstimators:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        from repro.data import FederatedDataset, SyntheticImage
+        from repro.nn import make_mlp
+
+        data = SyntheticImage(noise_std=2.0, seed=0)
+        train, test = data.train_test(3000, 300)
+        fed = FederatedDataset.from_dataset(
+            train, test, num_clients=12, alpha=0.1, size_low=20, size_high=60, rng=2
+        )
+        model = make_mlp(192, 10, hidden=(16,), seed=0)
+        return fed, model, model.get_params()
+
+    def test_gradient_noise_nonnegative(self, setting):
+        fed, model, params = setting
+        s2 = estimate_gradient_noise(model, params, fed.clients[0], batch_size=8)
+        assert s2 >= 0
+
+    def test_full_batch_noise_is_zero(self, setting):
+        fed, model, params = setting
+        c = fed.clients[0]
+        s2 = estimate_gradient_noise(model, params, c, batch_size=c.n, num_batches=2)
+        # Full-batch "minibatch" equals the full gradient (no replacement).
+        assert s2 == pytest.approx(0.0, abs=1e-12)
+
+    def test_local_heterogeneity_positive_under_skew(self, setting):
+        fed, model, params = setting
+        zeta2 = estimate_local_heterogeneity(model, params, fed.clients)
+        assert zeta2 > 0
+
+    def test_group_heterogeneity_shrinks_with_better_groups(self, setting):
+        """CoVG groups should have smaller empirical ζ_g than singletons."""
+        from repro.grouping import CoVGrouping, group_clients_per_edge
+
+        fed, model, params = setting
+        singletons = [
+            Group(i, 0, np.array([i]), fed.L[i]) for i in range(fed.num_clients)
+        ]
+        zg_single, _ = estimate_group_heterogeneity(
+            model, params, fed.clients, singletons
+        )
+        covg = group_clients_per_edge(
+            CoVGrouping(3, 0.5), fed.L, [np.arange(fed.num_clients)], rng=0
+        )
+        zg_covg, per_group = estimate_group_heterogeneity(
+            model, params, fed.clients, covg
+        )
+        assert zg_covg < zg_single
+        assert per_group.shape == (len(covg),)
+
+    def test_one_group_has_zero_heterogeneity(self, setting):
+        """A single all-client group's loss IS the global loss."""
+        fed, model, params = setting
+        whole = [Group(0, 0, np.arange(fed.num_clients), fed.L.sum(axis=0))]
+        zg, _ = estimate_group_heterogeneity(model, params, fed.clients, whole)
+        assert zg == pytest.approx(0.0, abs=1e-12)
