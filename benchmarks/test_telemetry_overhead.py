@@ -1,0 +1,131 @@
+"""Telemetry cost contract: free when off, faithful when on.
+
+Two claims are asserted:
+
+1. **Disabled overhead < 3%** — when no telemetry is activated, every
+   instrumentation point in the training stack degenerates to a no-op
+   method on ``NULL_TELEMETRY``. Timing a generous multiple of the no-op
+   calls an instrumented run would make shows the total is a vanishing
+   fraction of real training time.
+2. **Θ(s²) SecAgg span scaling** — the ``secagg`` spans an enabled run
+   records grow quadratically with group size, reproducing Fig. 2a's
+   group-operation shape from trace data alone (min-of-repeats against
+   timer noise, quadratic fit like ``costs.calibration``).
+"""
+
+import time
+
+import numpy as np
+
+from _util import run_once
+from repro.core import GroupFELTrainer, TrainerConfig, run_group_round
+from repro.costs.calibration import fit_quadratic
+from repro.data import FederatedDataset, SyntheticImage
+from repro.grouping import CoVGrouping, Group, group_clients_per_edge
+from repro.nn import SGD, make_mlp
+from repro.secure import SecureAggregator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+def _make_fed(num_clients=16, n_train=2_000, rng=7):
+    data = SyntheticImage(noise_std=2.0, seed=0)
+    train, test = data.train_test(n_train, 200)
+    return FederatedDataset.from_dataset(
+        train, test, num_clients=num_clients, alpha=0.3,
+        size_low=30, size_high=80, rng=rng,
+    )
+
+
+def _make_trainer(fed, telemetry=None, max_rounds=4):
+    edges = [np.arange(fed.num_clients)]
+    groups = group_clients_per_edge(CoVGrouping(3, 0.5), fed.L, edges, rng=0)
+    cfg = TrainerConfig(group_rounds=2, local_rounds=2, num_sampled=3,
+                        lr=0.08, max_rounds=max_rounds, seed=0)
+    return GroupFELTrainer(
+        lambda: make_mlp(192, 10, hidden=(64,), seed=3),
+        fed, groups, cfg, telemetry=telemetry,
+    )
+
+
+def test_disabled_overhead_under_3_percent(benchmark):
+    fed = _make_fed(n_train=4_000)
+
+    def timed_disabled_run():
+        best = np.inf
+        for _ in range(3):
+            trainer = _make_trainer(fed, telemetry=None)
+            t0 = time.perf_counter()
+            trainer.run()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    train_s = run_once(benchmark, timed_disabled_run)
+
+    # How many instrumentation touches would that run have made? Count the
+    # spans an enabled twin records and overprovision 10x to cover the
+    # metric increments, gauge sets, and `tel.enabled` gates around them.
+    tel = Telemetry()
+    _make_trainer(fed, telemetry=tel).run()
+    noop_calls = 10 * len(tel.tracer) + 1_000
+
+    t0 = time.perf_counter()
+    for _ in range(noop_calls):
+        with NULL_TELEMETRY.span("x", k=1):
+            pass
+        NULL_TELEMETRY.inc("x", 1.0)
+    noop_s = time.perf_counter() - t0
+
+    overhead = noop_s / train_s
+    print(f"\ndisabled-telemetry overhead: {noop_calls} no-op touches = "
+          f"{noop_s * 1e3:.2f} ms vs {train_s * 1e3:.0f} ms training "
+          f"({overhead:.2%})")
+    assert overhead < 0.03
+
+
+def test_secagg_span_time_is_quadratic_in_group_size(benchmark):
+    sizes = [4, 8, 16]
+    fed = _make_fed(num_clients=max(sizes), n_train=3_000)
+    model = make_mlp(192, 10, hidden=(64,), seed=0)
+    opt = SGD(model, lr=0.05)
+
+    def secagg_span_seconds():
+        """Min secagg span duration per group size, from the trace alone."""
+        best = {}
+        for s in sizes:
+            tel = Telemetry(label=f"s{s}")
+            group = Group(
+                group_id=0, edge_id=0,
+                members=np.arange(s),
+                label_counts=fed.L[:s].sum(axis=0),
+            )
+            for repeat in range(3):
+                run_group_round(
+                    model, opt, group, fed.clients,
+                    global_params=model.get_params().copy(),
+                    group_rounds=2, local_rounds=1, batch_size=64,
+                    rng=repeat,
+                    secure_aggregator=SecureAggregator(telemetry=tel),
+                    telemetry=tel,
+                )
+            spans = [sp for sp in tel.tracer.spans() if sp.name == "secagg"]
+            assert len(spans) == 6  # 3 repeats x K=2
+            assert all(sp.attrs["clients"] == s for sp in spans)
+            best[s] = min(sp.duration for sp in spans)
+        return best
+
+    best = run_once(benchmark, secagg_span_seconds)
+    xs = np.array(sizes, dtype=float)
+    ys = np.array([best[s] for s in sizes])
+    print("\nsecagg span seconds by group size:")
+    for s in sizes:
+        print(f"  s={s:3d}  {best[s] * 1e3:8.2f} ms")
+
+    # Doubling the group size should much more than double the span time
+    # (pure s² would be 4x; linear encode/decode terms soften it a little).
+    assert ys[2] > 2.0 * ys[1]
+    assert ys[1] > 1.5 * ys[0]
+    # And the whole curve is well explained by a quadratic.
+    _, r2 = fit_quadratic(xs, ys)
+    assert r2 > 0.95
+    # Largest size far exceeds linear extrapolation from the smallest.
+    assert ys[2] > 2.0 * (ys[0] * xs[2] / xs[0])

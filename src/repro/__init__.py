@@ -39,6 +39,7 @@ from repro.core import (
     PlainSGDStrategy,
     RoundLogger,
     ScaffoldStrategy,
+    TelemetryCallback,
     TimeBudget,
     TrainerConfig,
 )
@@ -95,6 +96,14 @@ from repro.secure import (
     DropoutTolerantAggregator,
     SecureAggregator,
 )
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    activated,
+    get_active,
+    set_active,
+)
 from repro.theory import BoundInputs, convergence_bound
 from repro.topology import CommModel, HierarchicalTopology
 
@@ -148,6 +157,7 @@ __all__ = [
     "Checkpointer",
     "TimeBudget",
     "MetricTracker",
+    "TelemetryCallback",
     # baselines
     "METHODS",
     "build_method",
@@ -170,6 +180,13 @@ __all__ = [
     "TriggerBackdoorAttack",
     "poison_federation",
     "attack_success_rate",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "activated",
+    "get_active",
+    "set_active",
     # theory
     "BoundInputs",
     "convergence_bound",

@@ -93,6 +93,7 @@ def build_method(
     group_size_knob: int = 5,
     max_cov: float = 0.5,
     rng: np.random.Generator | int | None = None,
+    telemetry=None,
 ) -> GroupFELTrainer:
     """Build a ready-to-run trainer for a named method.
 
@@ -105,6 +106,9 @@ def build_method(
     config:
         Shared hyperparameters; the method's sampling rule overrides
         ``config.sampling_method``.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` forwarded to the
+        trainer (default: the ambient instance).
     """
     try:
         spec = METHODS[name]
@@ -123,5 +127,6 @@ def build_method(
         cost_model=cost_model,
         strategy=spec.strategy_factory(),
         label=name,
+        telemetry=telemetry,
         **kwargs,
     )

@@ -20,6 +20,7 @@ from repro.core.callbacks import (
     EarlyStopping,
     MetricTracker,
     RoundLogger,
+    TelemetryCallback,
     TimeBudget,
 )
 from repro.core.client import run_local_rounds
@@ -43,4 +44,5 @@ __all__ = [
     "Checkpointer",
     "TimeBudget",
     "MetricTracker",
+    "TelemetryCallback",
 ]

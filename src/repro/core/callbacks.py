@@ -13,6 +13,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.trainer import GroupFELTrainer
 
@@ -23,6 +25,7 @@ __all__ = [
     "Checkpointer",
     "TimeBudget",
     "MetricTracker",
+    "TelemetryCallback",
 ]
 
 
@@ -132,6 +135,87 @@ class TimeBudget(Callback):
 
     def on_round_end(self, trainer, round_idx):
         return (time.perf_counter() - self._start) >= self.seconds
+
+
+class TelemetryCallback(Callback):
+    """Bridge a training run to its telemetry: lifecycle events, per-round
+    progress gauges, and optional exports when training ends.
+
+    Parameters
+    ----------
+    telemetry:
+        Explicit :class:`repro.telemetry.Telemetry`; default None uses the
+        trainer's own (``trainer.telemetry``). A disabled telemetry makes
+        every hook a no-op.
+    jsonl_path / csv_path / prometheus_path:
+        When set, the corresponding export is written on ``on_train_end``.
+    summary_printer:
+        Callable receiving the ASCII span/metric summary at train end
+        (e.g. ``print``).
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        jsonl_path: str | None = None,
+        csv_path: str | None = None,
+        prometheus_path: str | None = None,
+        summary_printer=None,
+    ):
+        self.telemetry = telemetry
+        self.jsonl_path = jsonl_path
+        self.csv_path = csv_path
+        self.prometheus_path = prometheus_path
+        self.summary_printer = summary_printer
+
+    def _tel(self, trainer) -> Telemetry:
+        if self.telemetry is not None:
+            return self.telemetry
+        return getattr(trainer, "telemetry", NULL_TELEMETRY)
+
+    def on_train_start(self, trainer):
+        tel = self._tel(trainer)
+        if not tel.enabled:
+            return
+        tel.event(
+            "train_start",
+            label=trainer.label,
+            num_groups=len(trainer.groups),
+            num_clients=trainer.fed.num_clients,
+            strategy=trainer.strategy.name,
+        )
+
+    def on_round_end(self, trainer, round_idx):
+        tel = self._tel(trainer)
+        if tel.enabled:
+            tel.set_gauge("rounds_completed", float(round_idx))
+            fields = {"round": round_idx, "cost": trainer.ledger.total}
+            # Reuse the trainer's own checkpoint instead of re-evaluating.
+            if trainer.history.rounds and trainer.history.rounds[-1] == round_idx:
+                fields["accuracy"] = trainer.history.test_acc[-1]
+                fields["loss"] = trainer.history.test_loss[-1]
+            tel.event("round_end", **fields)
+        return False
+
+    def on_train_end(self, trainer):
+        tel = self._tel(trainer)
+        if not tel.enabled:
+            return
+        tel.event(
+            "train_end",
+            label=trainer.label,
+            rounds=trainer.round_idx,
+            cost=trainer.ledger.total,
+        )
+        if self.jsonl_path:
+            tel.to_jsonl(self.jsonl_path)
+        if self.csv_path:
+            tel.to_csv(self.csv_path)
+        if self.prometheus_path:
+            with open(self.prometheus_path, "w") as fh:
+                fh.write(tel.to_prometheus())
+        if self.summary_printer is not None:
+            self.summary_printer(tel.summary())
 
 
 class MetricTracker(Callback):

@@ -9,6 +9,7 @@ from repro.data.client_data import ClientDataset
 from repro.nn.model import Model
 from repro.nn.optim import SGD
 from repro.rng import make_rng
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["run_local_rounds"]
 
@@ -24,6 +25,7 @@ def run_local_rounds(
     strategy: LocalStrategy | None = None,
     anchor: np.ndarray | None = None,
     step_mode: str = "epoch",
+    telemetry: Telemetry | None = None,
 ) -> tuple[np.ndarray, int]:
     """Run E local rounds of SGD on one client's shard.
 
@@ -43,6 +45,11 @@ def run_local_rounds(
     strategy / anchor:
         Local-update strategy and the model it anchors to (defaults to
         ``start_params``).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; records the
+        ``local_steps`` / ``client_updates`` counters (span timing is the
+        caller's ``client_update`` span — no per-step instrumentation in
+        the hot loop).
 
     Returns (final flat parameters, number of SGD steps taken).
     """
@@ -57,6 +64,7 @@ def run_local_rounds(
     model.set_params(start_params)
     optimizer.reset_state()
     steps = 0
+    samples = 0
     uses_offset = not isinstance(strategy, PlainSGDStrategy)
     for _ in range(local_rounds):
         if step_mode == "epoch":
@@ -64,6 +72,7 @@ def run_local_rounds(
         else:
             batches = [client.sample_batch(batch_size, rng)]
         for xb, yb in batches:
+            samples += xb.shape[0]
             model.loss_and_grad(xb, yb)
             offset = (
                 strategy.grad_offset(client.client_id, model.get_params(), anchor)
@@ -76,4 +85,9 @@ def run_local_rounds(
     strategy.after_local(
         client.client_id, start_params, end_params, steps, optimizer.effective_lr
     )
+    tel = resolve_telemetry(telemetry)
+    if tel.enabled:
+        tel.inc("local_steps", float(steps))
+        tel.inc("client_updates")
+        tel.inc("samples_trained", float(samples))
     return end_params, steps

@@ -21,6 +21,7 @@ from repro.nn.optim import SGD
 from repro.rng import make_rng
 from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["run_group_round"]
 
@@ -44,6 +45,8 @@ def run_group_round(
     dropout_prob: float = 0.0,
     dropout_aggregator=None,
     update_transforms: dict | None = None,
+    telemetry: Telemetry | None = None,
+    parent_span_id: int | None = None,
 ) -> np.ndarray:
     """Run the K×(clients×E) loop for one group; returns the group model.
 
@@ -75,9 +78,16 @@ def run_group_round(
         (and dropouts occur), the aggregation runs the full seed-share
         reconstruction protocol instead of silently skipping the dropped
         clients — exercising the real recovery path.
+    telemetry / parent_span_id:
+        Optional :class:`repro.telemetry.Telemetry`: the whole call is
+        timed as a ``group`` span with ``client_update`` / ``secagg`` /
+        ``backdoor`` / ``aggregate`` children. ``parent_span_id`` stitches
+        the span under the trainer's ``round`` span when this call runs on
+        a pool worker thread (thread-local nesting covers the serial path).
     """
     if not 0.0 <= dropout_prob < 1.0:
         raise ValueError(f"dropout_prob must be in [0, 1), got {dropout_prob}")
+    tel = resolve_telemetry(telemetry)
     rng = make_rng(rng)
     members = [clients[int(cid)] for cid in group.members]
     n_i = np.array([c.n for c in members], dtype=np.float64)
@@ -93,113 +103,139 @@ def run_group_round(
     #: clients the defense flagged earlier in this group session
     banned: set[int] = set()
 
-    for k in range(group_rounds):
-        for idx, client in enumerate(members):
-            end, _ = run_local_rounds(
-                model,
-                optimizer,
-                client,
-                start_params=group_params,
-                local_rounds=local_rounds,
-                batch_size=batch_size,
-                rng=client_rngs[idx],
-                strategy=strategy,
-                anchor=group_params,
-                step_mode=step_mode,
-            )
-            client_params[idx] = end
-
-        # Per-round working views (the persistent client_params buffer must
-        # never be rebound — the next k iteration refills it for all
-        # members).
-        params_k = client_params
-        weights = data_weights
-        updates = client_params - group_params
-        # Adversarial clients manipulate their upload (repro.attacks).
-        if update_transforms:
+    with tel.span(
+        "group",
+        parent_id=parent_span_id,
+        group_id=group.group_id,
+        edge_id=group.edge_id,
+        size=len(members),
+    ):
+        for k in range(group_rounds):
             for idx, client in enumerate(members):
-                attack = update_transforms.get(client.client_id)
-                if attack is not None:
-                    updates[idx] = attack.transform_update(updates[idx], rng=rng)
-            params_k = group_params + updates
-        if compressor is not None:
-            from repro.compression.error_feedback import ErrorFeedback
-
-            for idx, client in enumerate(members):
-                if isinstance(compressor, ErrorFeedback):
-                    out = compressor.compress(client.client_id, updates[idx], rng=rng)
-                else:
-                    out = compressor.compress(updates[idx], rng=rng)
-                updates[idx] = out.decoded
-            params_k = group_params + updates
-        # Simulated client dropout: failed clients never submit this round.
-        if dropout_prob > 0.0 and len(members) > 1:
-            alive = rng.random(len(members)) >= dropout_prob
-            # Keep enough survivors for aggregation (and for the recovery
-            # protocol's Shamir threshold, when in use).
-            min_alive = 1
-            if dropout_aggregator is not None:
-                min_alive = min(dropout_aggregator.threshold, len(members))
-            while alive.sum() < min_alive:
-                dead = np.flatnonzero(~alive)
-                alive[dead[int(rng.integers(dead.size))]] = True
-            if not alive.all():
-                if dropout_aggregator is not None:
-                    # Real recovery: reconstruct the dropped clients' masks
-                    # from survivor seed shares and cancel them.
-                    dropped = set(np.flatnonzero(~alive).tolist())
-                    w = weights / weights[alive].sum()
-                    res = dropout_aggregator.aggregate(
-                        updates * w[:, None],
-                        dropped=dropped,
-                        round_id=round_id * group_rounds + k,
-                        rng=rng,
+                with tel.span("client_update", client_id=client.client_id, k=k):
+                    end, _ = run_local_rounds(
+                        model,
+                        optimizer,
+                        client,
+                        start_params=group_params,
+                        local_rounds=local_rounds,
+                        batch_size=batch_size,
+                        rng=client_rngs[idx],
+                        strategy=strategy,
+                        anchor=group_params,
+                        step_mode=step_mode,
+                        telemetry=tel,
                     )
-                    group_params = group_params + res.total
-                    continue
-                updates = updates[alive]
-                params_k = params_k[alive]
-                weights = weights[alive] / weights[alive].sum()
-                members_round = [m for m, a in zip(members, alive) if a]
+                client_params[idx] = end
+
+            # Per-round working views (the persistent client_params buffer
+            # must never be rebound — the next k iteration refills it for
+            # all members).
+            params_k = client_params
+            weights = data_weights
+            updates = client_params - group_params
+            # Adversarial clients manipulate their upload (repro.attacks).
+            if update_transforms:
+                for idx, client in enumerate(members):
+                    attack = update_transforms.get(client.client_id)
+                    if attack is not None:
+                        updates[idx] = attack.transform_update(updates[idx], rng=rng)
+                params_k = group_params + updates
+            if compressor is not None:
+                from repro.compression.error_feedback import ErrorFeedback
+
+                for idx, client in enumerate(members):
+                    if isinstance(compressor, ErrorFeedback):
+                        out = compressor.compress(
+                            client.client_id, updates[idx], rng=rng
+                        )
+                    else:
+                        out = compressor.compress(updates[idx], rng=rng)
+                    updates[idx] = out.decoded
+                params_k = group_params + updates
+            # Simulated client dropout: failed clients never submit this round.
+            if dropout_prob > 0.0 and len(members) > 1:
+                alive = rng.random(len(members)) >= dropout_prob
+                # Keep enough survivors for aggregation (and for the recovery
+                # protocol's Shamir threshold, when in use).
+                min_alive = 1
+                if dropout_aggregator is not None:
+                    min_alive = min(dropout_aggregator.threshold, len(members))
+                while alive.sum() < min_alive:
+                    dead = np.flatnonzero(~alive)
+                    alive[dead[int(rng.integers(dead.size))]] = True
+                if not alive.all():
+                    if tel.enabled:
+                        tel.inc("clients_dropped", float((~alive).sum()))
+                    if dropout_aggregator is not None:
+                        # Real recovery: reconstruct the dropped clients'
+                        # masks from survivor seed shares and cancel them.
+                        dropped = set(np.flatnonzero(~alive).tolist())
+                        w = weights / weights[alive].sum()
+                        with tel.span("secagg", k=k, recovery=True):
+                            res = dropout_aggregator.aggregate(
+                                updates * w[:, None],
+                                dropped=dropped,
+                                round_id=round_id * group_rounds + k,
+                                rng=rng,
+                            )
+                        group_params = group_params + res.total
+                        continue
+                    updates = updates[alive]
+                    params_k = params_k[alive]
+                    weights = weights[alive] / weights[alive].sum()
+                    members_round = [m for m, a in zip(members, alive) if a]
+                else:
+                    members_round = members
             else:
                 members_round = members
-        else:
-            members_round = members
 
-        # Clients flagged in an earlier group round of this session stay
-        # banned — re-admitting a detected attacker at k+1 would re-implant
-        # whatever the defense just removed.
-        if banned:
-            keep_mask = np.array(
-                [m.client_id not in banned for m in members_round], dtype=bool
-            )
-            if not keep_mask.all() and keep_mask.any():
-                updates = updates[keep_mask]
-                params_k = params_k[keep_mask]
-                weights = weights[keep_mask] / weights[keep_mask].sum()
-                members_round = [m for m, kp in zip(members_round, keep_mask) if kp]
-
-        if backdoor_detector is not None and len(members_round) > 1:
-            report = backdoor_detector.detect(updates, rng=rng)
-            kept = report.admitted
-            for f in report.flagged:
-                banned.add(members_round[int(f)].client_id)
-            # Aggregate the defended (clipped) updates of admitted clients.
-            kept_weights = weights[kept]
-            kept_weights = kept_weights / kept_weights.sum()
-            if secure_aggregator is not None:
-                agg_update = secure_aggregator.aggregate_weighted(
-                    report.filtered, kept_weights, round_id=round_id * group_rounds + k
+            # Clients flagged in an earlier group round of this session stay
+            # banned — re-admitting a detected attacker at k+1 would
+            # re-implant whatever the defense just removed.
+            if banned:
+                keep_mask = np.array(
+                    [m.client_id not in banned for m in members_round], dtype=bool
                 )
+                if not keep_mask.all() and keep_mask.any():
+                    updates = updates[keep_mask]
+                    params_k = params_k[keep_mask]
+                    weights = weights[keep_mask] / weights[keep_mask].sum()
+                    members_round = [
+                        m for m, kp in zip(members_round, keep_mask) if kp
+                    ]
+
+            if backdoor_detector is not None and len(members_round) > 1:
+                with tel.span("backdoor", k=k, clients=len(members_round)):
+                    report = backdoor_detector.detect(updates, rng=rng)
+                kept = report.admitted
+                for f in report.flagged:
+                    banned.add(members_round[int(f)].client_id)
+                if tel.enabled and len(report.flagged):
+                    tel.inc("clients_banned", float(len(report.flagged)))
+                # Aggregate the defended (clipped) updates of admitted
+                # clients.
+                kept_weights = weights[kept]
+                kept_weights = kept_weights / kept_weights.sum()
+                if secure_aggregator is not None:
+                    with tel.span("secagg", k=k, clients=int(kept.size)):
+                        agg_update = secure_aggregator.aggregate_weighted(
+                            report.filtered,
+                            kept_weights,
+                            round_id=round_id * group_rounds + k,
+                        )
+                else:
+                    with tel.span("aggregate", k=k):
+                        agg_update = weighted_average(report.filtered, kept_weights)
+                group_params = group_params + agg_update
+            elif secure_aggregator is not None:
+                with tel.span("secagg", k=k, clients=len(members_round)):
+                    agg_update = secure_aggregator.aggregate_weighted(
+                        updates, weights, round_id=round_id * group_rounds + k
+                    )
+                group_params = group_params + agg_update
             else:
-                agg_update = weighted_average(report.filtered, kept_weights)
-            group_params = group_params + agg_update
-        elif secure_aggregator is not None:
-            agg_update = secure_aggregator.aggregate_weighted(
-                updates, weights, round_id=round_id * group_rounds + k
-            )
-            group_params = group_params + agg_update
-        else:
-            # Line 14: x^g_{t,k+1} = Σ_i (n_i/n_g) x^i.
-            group_params = weighted_average(params_k, weights)
+                # Line 14: x^g_{t,k+1} = Σ_i (n_i/n_g) x^i.
+                with tel.span("aggregate", k=k):
+                    group_params = weighted_average(params_k, weights)
     return group_params

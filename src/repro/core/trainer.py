@@ -12,7 +12,7 @@ compare accuracy reached within it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,11 +26,13 @@ from repro.grouping.base import Group, Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
 from repro.nn.model import Model
 from repro.nn.optim import SGD
-from repro.parallel import ParallelMap
+from repro.parallel import ParallelMap, available_backends
 from repro.rng import make_rng
+from repro.sampling.probability import WEIGHT_FUNCTIONS
 from repro.sampling.sampler import AggregationMode, GroupSampler
 from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["TrainerConfig", "GroupFELTrainer"]
 
@@ -73,9 +75,26 @@ class TrainerConfig:
             raise ValueError(f"num_sampled (S) must be >= 1, got {self.num_sampled}")
         if self.max_rounds < 1:
             raise ValueError(f"max_rounds (T) must be >= 1, got {self.max_rounds}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be > 0, got {self.lr}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
         if not 0.0 <= self.client_dropout_prob < 1.0:
             raise ValueError(
                 f"client_dropout_prob must be in [0, 1), got {self.client_dropout_prob}"
+            )
+        if self.parallel_backend not in available_backends():
+            raise ValueError(
+                f"parallel_backend must be one of {available_backends()}, "
+                f"got {self.parallel_backend!r}"
+            )
+        known_sampling = ("random", *sorted(WEIGHT_FUNCTIONS))
+        if self.sampling_method not in known_sampling:
+            raise ValueError(
+                f"sampling_method must be one of {known_sampling}, "
+                f"got {self.sampling_method!r}"
             )
         self.aggregation_mode = AggregationMode(self.aggregation_mode)
 
@@ -102,6 +121,13 @@ class GroupFELTrainer:
         Only needed when ``config.regroup_every`` is set: the trainer
         re-runs group formation on this grouper every R rounds (§6.1's
         remark on utilizing leftover data via regrouping).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` facade. When given (or
+        ambiently activated via ``repro.telemetry.activated``), every round
+        emits nested wall-clock spans (``round > group > client_update /
+        secagg / backdoor / aggregate``) plus cost/sampling/aggregation
+        metrics. Default: the ambient instance, which is a zero-overhead
+        no-op unless one was activated.
     """
 
     def __init__(
@@ -120,7 +146,11 @@ class GroupFELTrainer:
         wallclock=None,
         attackers: dict | None = None,
         backdoor_detector: BackdoorDetector | None = None,
+        telemetry: Telemetry | None = None,
     ):
+        #: resolved once at construction: the explicit instance, the
+        #: ambient one (``repro.telemetry.activated``), or the no-op null.
+        self.telemetry = resolve_telemetry(telemetry)
         self.model_fn = model_fn
         self.fed = fed
         self.groups = list(groups)
@@ -147,12 +177,16 @@ class GroupFELTrainer:
         )
         self.global_params = self.model.get_params()
         self.ledger = CostLedger(
-            self._effective_cost_model(), fed.client_sizes()
+            self._effective_cost_model(), fed.client_sizes(),
+            telemetry=self.telemetry,
         )
         self.history = TrainingHistory(label=label)
         self.sampler = self._make_sampler()
         self.secure_aggregator = (
-            SecureAggregator(payload_factor=self.strategy.payload_factor)
+            SecureAggregator(
+                payload_factor=self.strategy.payload_factor,
+                telemetry=self.telemetry,
+            )
             if self.config.use_secure_aggregation
             else None
         )
@@ -160,7 +194,9 @@ class GroupFELTrainer:
             self.backdoor_detector: BackdoorDetector | None = backdoor_detector
         else:
             self.backdoor_detector = (
-                BackdoorDetector() if self.config.use_backdoor_defense else None
+                BackdoorDetector(telemetry=self.telemetry)
+                if self.config.use_backdoor_defense
+                else None
             )
         # Dropouts + secure aggregation together require the recovery
         # protocol (survivors reconstruct dropped clients' masks).
@@ -209,6 +245,7 @@ class GroupFELTrainer:
             mode=self.config.aggregation_mode,
             min_prob=self.config.min_prob,
             rng=self.rng.spawn(1)[0],
+            telemetry=self.telemetry,
         )
 
     def _regroup(self) -> None:
@@ -221,7 +258,12 @@ class GroupFELTrainer:
 
     # ------------------------------------------------------------------ training
     def _run_one_group(
-        self, group: Group, rng: np.random.Generator, model: Model, optimizer: SGD
+        self,
+        group: Group,
+        rng: np.random.Generator,
+        model: Model,
+        optimizer: SGD,
+        parent_span_id: int | None = None,
     ) -> np.ndarray:
         return run_group_round(
             model,
@@ -242,57 +284,73 @@ class GroupFELTrainer:
             dropout_prob=self.config.client_dropout_prob,
             dropout_aggregator=self.dropout_aggregator,
             update_transforms=self.attackers or None,
+            telemetry=self.telemetry,
+            parent_span_id=parent_span_id,
         )
 
     def train_round(self) -> float:
         """Execute one global round (Lines 6–15); returns its cost."""
-        selected, weights = self.sampler.sample()
-        self.sampled_history.append(selected)
-        group_rngs = self.rng.spawn(len(selected))
+        tel = self.telemetry
+        with tel.span("round", index=self.round_idx):
+            with tel.span("sample"):
+                selected, weights = self.sampler.sample()
+            self.sampled_history.append(selected)
+            group_rngs = self.rng.spawn(len(selected))
+            # Worker threads have their own span stacks; hand them the round
+            # span's id so group spans still parent correctly.
+            round_span_id = tel.current_span_id()
 
-        # SCAFFOLD mutates shared control-variate state per client; run its
-        # groups serially regardless of the configured backend.
-        stateful = self.strategy.name == "scaffold"
-        if self._pmap.backend == "serial" or stateful:
-            group_models = [
-                self._run_one_group(g, r, self.model, self.optimizer)
-                for g, r in zip(selected, group_rngs)
-            ]
-        else:
-            def work(args):
-                group, grng = args
-                model = self.model_fn()
-                opt = SGD(
-                    model,
-                    lr=self.config.lr,
-                    momentum=self.config.momentum,
-                    weight_decay=self.config.weight_decay,
+            # SCAFFOLD mutates shared control-variate state per client; run
+            # its groups serially regardless of the configured backend.
+            stateful = self.strategy.name == "scaffold"
+            if self._pmap.backend == "serial" or stateful:
+                group_models = [
+                    self._run_one_group(g, r, self.model, self.optimizer)
+                    for g, r in zip(selected, group_rngs)
+                ]
+            else:
+                def work(args):
+                    group, grng = args
+                    model = self.model_fn()
+                    opt = SGD(
+                        model,
+                        lr=self.config.lr,
+                        momentum=self.config.momentum,
+                        weight_decay=self.config.weight_decay,
+                    )
+                    return self._run_one_group(
+                        group, grng, model, opt, parent_span_id=round_span_id
+                    )
+
+                group_models = self._pmap.map(work, list(zip(selected, group_rngs)))
+
+            stacked = np.vstack(group_models)
+            normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
+            with tel.span("cloud_aggregate", num_groups=len(selected)):
+                self.global_params = weighted_average(
+                    stacked, weights, normalize=normalize
                 )
-                return self._run_one_group(group, grng, model, opt)
-
-            group_models = self._pmap.map(work, list(zip(selected, group_rngs)))
-
-        stacked = np.vstack(group_models)
-        normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
-        self.global_params = weighted_average(stacked, weights, normalize=normalize)
-        self.strategy.after_global_round()
-        cost = self.ledger.charge_round(
-            selected, self.config.group_rounds, self.config.local_rounds
-        )
-        if self.wallclock is not None:
-            timing = self.wallclock.round_timing(
-                selected,
-                self.ledger.client_sizes,
-                self.config.group_rounds,
-                self.config.local_rounds,
+            if tel.enabled:
+                tel.inc("cloud_bytes_aggregated", float(stacked.nbytes))
+                tel.inc("cloud_params_averaged", float(stacked.size))
+            self.strategy.after_global_round()
+            cost = self.ledger.charge_round(
+                selected, self.config.group_rounds, self.config.local_rounds
             )
-            self.history.extra["wall_clock_s"].append(timing.total_s)
-        self.round_idx += 1
-        if (
-            self.config.regroup_every
-            and self.round_idx % self.config.regroup_every == 0
-        ):
-            self._regroup()
+            if self.wallclock is not None:
+                timing = self.wallclock.round_timing(
+                    selected,
+                    self.ledger.client_sizes,
+                    self.config.group_rounds,
+                    self.config.local_rounds,
+                )
+                self.history.extra["wall_clock_s"].append(timing.total_s)
+            self.round_idx += 1
+            if (
+                self.config.regroup_every
+                and self.round_idx % self.config.regroup_every == 0
+            ):
+                self._regroup()
         return cost
 
     def evaluate(self) -> tuple[float, float]:

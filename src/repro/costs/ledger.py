@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.costs.model import CostModel
 from repro.grouping.base import Group
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["CostLedger"]
 
@@ -15,13 +16,21 @@ class CostLedger:
 
     The trainer calls :meth:`charge_round` with the sampled groups; the
     ledger keeps both the running total and the per-round series, so
-    accuracy-vs-cost curves can be assembled after the fact.
+    accuracy-vs-cost curves can be assembled after the fact. When a
+    :class:`repro.telemetry.Telemetry` is attached, every charge also feeds
+    the ``cost_total`` counter and ``round_cost`` histogram.
     """
 
-    def __init__(self, cost_model: CostModel, client_sizes: np.ndarray):
+    def __init__(
+        self,
+        cost_model: CostModel,
+        client_sizes: np.ndarray,
+        telemetry: Telemetry | None = None,
+    ):
         self.cost_model = cost_model
         self.client_sizes = np.asarray(client_sizes, dtype=np.int64)
         self.round_costs: list[float] = []
+        self.telemetry = resolve_telemetry(telemetry)
 
     @property
     def total(self) -> float:
@@ -42,6 +51,9 @@ class CostLedger:
             sizes, per_group_client_sizes, group_rounds, local_rounds
         )
         self.round_costs.append(cost)
+        if self.telemetry.enabled:
+            self.telemetry.inc("cost_total", cost)
+            self.telemetry.observe("round_cost", cost)
         return cost
 
     def estimate_round_cost(

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments fig9 --scale fast --seed 0
     python -m repro.experiments table1 --scale paper
+    python -m repro.experiments fig7 --telemetry trace.jsonl
     python -m repro.experiments list
 """
 
@@ -12,6 +13,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+from repro.telemetry import Telemetry, activated
 
 from repro.experiments.figures import (
     fig2a_group_overheads,
@@ -54,6 +57,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", default=None, help="fast (default) or paper")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", action="store_true", help="emit raw JSON")
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="enable run telemetry: write the JSONL trace to PATH and print "
+        "a span/metric summary to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -67,7 +77,26 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
+    if args.telemetry:
+        # Fail on an unwritable trace path *before* the (possibly long) run,
+        # not after, so no results are thrown away over a typo.
+        try:
+            with open(args.telemetry, "w"):
+                pass
+        except OSError as exc:
+            print(f"cannot write telemetry trace {args.telemetry!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Ambient activation: every trainer the generator constructs picks
+        # this instance up without the generators knowing about telemetry.
+        telemetry = Telemetry(label=args.target)
+        telemetry.meta.update({"scale": args.scale or "fast", "seed": args.seed})
+        with activated(telemetry):
+            result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
+        telemetry.to_jsonl(args.telemetry)
+        print(telemetry.summary(), file=sys.stderr)
+    else:
+        result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
     if args.json:
         print(json.dumps(result, default=float, indent=1))
         return 0

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
-
 from repro.baselines.registry import build_method
 from repro.core.strategies import PlainSGDStrategy
-from repro.core.trainer import GroupFELTrainer, TrainerConfig
+from repro.core.trainer import GroupFELTrainer
 from repro.experiments.configs import Workload
 from repro.grouping import Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
@@ -24,8 +22,14 @@ def run_method(
     cost_budget: float | None = None,
     group_size_knob: int | None = None,
     max_cov: float | None = None,
+    telemetry=None,
 ) -> TrainingHistory:
-    """Run one named method (see ``repro.baselines.METHODS``) to completion."""
+    """Run one named method (see ``repro.baselines.METHODS``) to completion.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is forwarded to the
+    trainer; omit it to use the ambient instance (see
+    ``repro.telemetry.activated``), which defaults to a no-op.
+    """
     s = workload.scale
     trainer = build_method(
         name,
@@ -37,6 +41,7 @@ def run_method(
         group_size_knob=group_size_knob if group_size_knob is not None else s.min_group_size,
         max_cov=max_cov if max_cov is not None else s.max_cov,
         rng=derive_seed(workload.seed, "grouping", name),
+        telemetry=telemetry,
     )
     return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
 
@@ -46,10 +51,17 @@ def run_methods(
     workload: Workload,
     max_rounds: int | None = None,
     cost_budget: float | None = None,
+    telemetry=None,
 ) -> dict[str, TrainingHistory]:
     """Run several methods over the same workload (same data, same budget)."""
     return {
-        name: run_method(name, workload, max_rounds=max_rounds, cost_budget=cost_budget)
+        name: run_method(
+            name,
+            workload,
+            max_rounds=max_rounds,
+            cost_budget=cost_budget,
+            telemetry=telemetry,
+        )
         for name in names
     }
 
@@ -61,6 +73,7 @@ def run_combo(
     label: str,
     max_rounds: int | None = None,
     cost_budget: float | None = None,
+    telemetry=None,
 ) -> TrainingHistory:
     """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
     groups = group_clients_per_edge(
@@ -78,5 +91,6 @@ def run_combo(
         cost_model=workload.cost_model,
         strategy=PlainSGDStrategy(),
         label=label,
+        telemetry=telemetry,
     )
     return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -32,6 +32,23 @@ _BACKENDS = ("serial", "thread", "process")
 def available_backends() -> tuple[str, ...]:
     """Names of the supported execution backends."""
     return _BACKENDS
+
+
+class _StarCall:
+    """Picklable adapter that unpacks a tuple into positional arguments.
+
+    A lambda would work for the serial/thread backends but cannot be sent
+    to a ``ProcessPoolExecutor`` worker; a module-level class instance can
+    (as long as ``fn`` itself is picklable).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., R]):
+        self.fn = fn
+
+    def __call__(self, args: tuple) -> R:
+        return self.fn(*args)
 
 
 class ParallelMap:
@@ -69,7 +86,7 @@ class ParallelMap:
 
     def starmap(self, fn: Callable[..., R], arg_tuples: Sequence[tuple]) -> list[R]:
         """Like :meth:`map` but unpacks each item as positional arguments."""
-        return self.map(lambda args: fn(*args), arg_tuples)
+        return self.map(_StarCall(fn), arg_tuples)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelMap(backend={self.backend!r}, max_workers={self.max_workers})"

@@ -23,6 +23,7 @@ import numpy as np
 from repro.grouping.base import Group
 from repro.rng import make_rng
 from repro.sampling.probability import sampling_probabilities
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = [
     "AggregationMode",
@@ -104,6 +105,7 @@ class GroupSampler:
         mode: AggregationMode | str = AggregationMode.BIASED,
         min_prob: float = 0.0,
         rng: np.random.Generator | int | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if num_sampled < 1 or num_sampled > len(groups):
             raise ValueError(
@@ -116,6 +118,8 @@ class GroupSampler:
         self.p = sampling_probabilities(groups, method=method, min_prob=min_prob)
         self.rng = make_rng(rng)
         self.total_samples = int(sum(g.n_g for g in groups))
+        #: per-draw sampling-dispersion metrics (Γ_p, inclusion probs)
+        self.telemetry = resolve_telemetry(telemetry)
 
     def gamma_p(self) -> float:
         """Γ_p = Σ_g 1/p_g — the sampling-dispersion term of Theorem 1."""
@@ -128,6 +132,15 @@ class GroupSampler:
         weights = aggregation_weights(
             selected, self.p[idx], self.total_samples, self.mode
         )
+        tel = self.telemetry
+        if tel.enabled:
+            # Fraboni et al. (PAPERS.md): sampling-induced variance is the
+            # quantity to watch — record dispersion and participation.
+            tel.set_gauge("gamma_p", self.gamma_p())
+            tel.inc("groups_sampled", float(len(selected)))
+            tel.inc("clients_participating", float(sum(g.size for g in selected)))
+            for p_g in self.p[idx]:
+                tel.observe("sampled_group_prob", float(p_g))
         return selected, weights
 
     def __repr__(self) -> str:

@@ -17,6 +17,7 @@ from scipy.cluster.hierarchy import fcluster, linkage
 from scipy.spatial.distance import squareform
 
 from repro.rng import make_rng
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["DefenseReport", "BackdoorDetector"]
 
@@ -55,6 +56,10 @@ class BackdoorDetector:
         (coordinated sybils are mutually similar; honest updates are not).
     separation_factor:
         Tightness ratio required to flag the minority (``split`` mode).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; each detection records
+        ``backdoor_detect_calls`` / ``backdoor_clients_flagged`` /
+        ``backdoor_pairwise_distances`` (the Θ(s²) work) counters.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class BackdoorDetector:
         noise_std_factor: float = 0.0,
         criterion: str = "distance",
         separation_factor: float = 1.3,
+        telemetry: Telemetry | None = None,
     ):
         if distance_threshold <= 0:
             raise ValueError(f"distance_threshold must be > 0, got {distance_threshold}")
@@ -76,6 +82,7 @@ class BackdoorDetector:
         self.noise_std_factor = float(noise_std_factor)
         self.criterion = criterion
         self.separation_factor = float(separation_factor)
+        self.telemetry = resolve_telemetry(telemetry)
 
     @staticmethod
     def cosine_distance_matrix(updates: np.ndarray) -> np.ndarray:
@@ -127,6 +134,10 @@ class BackdoorDetector:
             kept = kept + rng.normal(
                 0.0, self.noise_std_factor * clip_norm, size=kept.shape
             )
+        if self.telemetry.enabled:
+            self.telemetry.inc("backdoor_detect_calls")
+            self.telemetry.inc("backdoor_clients_flagged", float(flagged.size))
+            self.telemetry.inc("backdoor_pairwise_distances", float(s * (s - 1) / 2))
         return DefenseReport(
             admitted=admitted, flagged=flagged, clip_norm=clip_norm, filtered=kept
         )

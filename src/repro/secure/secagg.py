@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.secure.masking import pairwise_mask, pairwise_seed
 from repro.secure.quantize import FixedPointCodec
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = ["SecAggResult", "SecureAggregator"]
 
@@ -52,13 +53,23 @@ class SecureAggregator:
         variants that ship extra state — SCAFFOLD sends model + control
         variate, i.e. ``payload_factor=2`` (Fig. 8's "SCAFFOLD SecAgg"
         curve sits above plain SecAgg for exactly this reason).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; every aggregation
+        records ``secagg_calls`` / ``secagg_mask_expansions`` /
+        ``secagg_bytes_masked`` counters — the Θ(s²) quantities of Eq. (5).
     """
 
-    def __init__(self, codec: FixedPointCodec | None = None, payload_factor: int = 1):
+    def __init__(
+        self,
+        codec: FixedPointCodec | None = None,
+        payload_factor: int = 1,
+        telemetry: Telemetry | None = None,
+    ):
         if payload_factor < 1:
             raise ValueError(f"payload_factor must be >= 1, got {payload_factor}")
         self.codec = codec or FixedPointCodec()
         self.payload_factor = int(payload_factor)
+        self.telemetry = resolve_telemetry(telemetry)
 
     def aggregate(
         self,
@@ -97,6 +108,10 @@ class SecureAggregator:
             masked[i] = acc
         ring_sum = masked.sum(axis=0, dtype=np.uint64)
         total = self.codec.decode(ring_sum[:dim], count=s)
+        if self.telemetry.enabled:
+            self.telemetry.inc("secagg_calls")
+            self.telemetry.inc("secagg_mask_expansions", float(expansions))
+            self.telemetry.inc("secagg_bytes_masked", float(masked.nbytes))
         return SecAggResult(total=total, masked_inputs=masked, mask_expansions=expansions)
 
     def aggregate_weighted(

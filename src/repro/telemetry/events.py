@@ -1,0 +1,77 @@
+"""Telemetry event bus.
+
+Events are timestamped, named records with free-form fields
+(``train_start``, ``round_end``, ...). The bus both *stores* every emitted
+event — so the JSONL exporter can replay the run — and *notifies*
+subscribers synchronously, a lightweight seam for live monitors and tests.
+
+The bus is only ever constructed by an enabled :class:`~repro.telemetry.
+Telemetry`; the disabled facade never allocates one, keeping the no-op
+fast path free of any event machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass
+class Event:
+    """One emitted event: a name, a wall-clock timestamp, and fields.
+
+    Wall-clock time (``time.time``) rather than the monotonic span clock so
+    events from different processes can be aligned after a merge.
+    """
+
+    name: str
+    t: float
+    fields: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Flat dict form used by the JSONL exporter."""
+        return {"name": self.name, "t": self.t, "fields": dict(self.fields)}
+
+
+class EventBus:
+    """Thread-safe store-and-notify event channel.
+
+    Parameters
+    ----------
+    clock:
+        Timestamp source; injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: list[Event] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Register ``fn`` to be called synchronously on every emit."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def emit(self, name: str, **fields) -> Event:
+        """Record an event and notify subscribers; returns the event."""
+        event = Event(name=name, t=self._clock(), fields=fields)
+        with self._lock:
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(event)
+        return event
+
+    def events(self) -> list[Event]:
+        """All events emitted so far, in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

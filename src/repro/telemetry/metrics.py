@@ -1,0 +1,192 @@
+"""Counters, gauges, and histograms for run-level quantities.
+
+The instruments record the quantities the paper's cost analysis cares
+about — bytes aggregated, parameters averaged, clients dropped/flagged,
+sampled-group inclusion probabilities, per-round Γ_p, cost-ledger deltas —
+without prescribing any particular backend. Each instrument is
+individually lock-protected so worker threads can update them while the
+main thread reads.
+
+Semantics follow the usual conventions:
+
+* :class:`Counter` — monotone non-decreasing accumulator.
+* :class:`Gauge` — last-write-wins current value.
+* :class:`Histogram` — full sample record with summary statistics
+  (runs here are short enough that keeping raw observations is cheap and
+  buys exact percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        with self._lock:
+            self.value += float(amount)
+
+
+class Gauge:
+    """Last-write-wins current value (NaN until first set)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Record of observations with exact summary statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(float(value))
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return list(self._values)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return float(sum(self._values))
+
+    @property
+    def min(self) -> float:
+        with self._lock:
+            return min(self._values) if self._values else math.nan
+
+    @property
+    def max(self) -> float:
+        with self._lock:
+            return max(self._values) if self._values else math.nan
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if not self._values:
+                return math.nan
+            return sum(self._values) / len(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank), q in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._values:
+                return math.nan
+            ordered = sorted(self._values)
+            rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+            return ordered[rank]
+
+    def stats(self) -> dict:
+        """Summary dict used by the exporters."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry; one namespace shared by all instruments.
+
+    A name is bound to its first-used kind — asking for ``counter("x")``
+    after ``gauge("x")`` is a programming error and raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = kind(name)
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return {n: i.value for n, i in items if isinstance(i, Counter)}
+
+    def gauges(self) -> dict[str, float]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return {n: i.value for n, i in items if isinstance(i, Gauge)}
+
+    def histograms(self) -> dict[str, Histogram]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return {n: i for n, i in items if isinstance(i, Histogram)}
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (for exports and merging)."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                name: {"values": hist.values(), **hist.stats()}
+                for name, hist in self.histograms().items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms extend, gauges take the incoming value —
+        the per-worker registries of a process backend merge in submission
+        order, so "last write wins" is deterministic.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            for value in data.get("values", []):
+                hist.observe(value)

@@ -4,16 +4,19 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    Callback,
     Checkpointer,
     EarlyStopping,
     GroupFELTrainer,
     MetricTracker,
     RoundLogger,
+    TelemetryCallback,
     TimeBudget,
     TrainerConfig,
 )
 from repro.grouping import CoVGrouping, group_clients_per_edge
 from repro.nn import make_mlp
+from repro.telemetry import Telemetry
 
 
 def make_trainer(small_fed, small_edges, callbacks, max_rounds=6):
@@ -97,6 +100,102 @@ class TestTimeBudget:
     def test_validation(self):
         with pytest.raises(ValueError):
             TimeBudget(0)
+
+
+class _HookRecorder(Callback):
+    """Appends ``(tag, hook)`` tuples to a shared journal."""
+
+    def __init__(self, tag, journal):
+        self.tag = tag
+        self.journal = journal
+
+    def on_train_start(self, trainer):
+        self.journal.append((self.tag, "start"))
+
+    def on_round_end(self, trainer, round_idx):
+        self.journal.append((self.tag, f"round{round_idx}"))
+        return False
+
+    def on_train_end(self, trainer):
+        self.journal.append((self.tag, "end"))
+
+
+class TestCallbackInteractions:
+    def test_registration_order_preserved_with_telemetry(
+        self, small_fed, small_edges
+    ):
+        """All three callbacks fire per hook, in registration order."""
+        journal = []
+        tel = Telemetry()
+        stopper = EarlyStopping(patience=2, min_delta=1.0)  # plateau at once
+        checkpointer = Checkpointer(every=1, keep_best=True)
+
+        class JournalingTelemetry(TelemetryCallback):
+            def on_round_end(self, trainer, round_idx):
+                journal.append(("tel", f"round{round_idx}"))
+                return super().on_round_end(trainer, round_idx)
+
+        trainer = make_trainer(
+            small_fed, small_edges,
+            [_HookRecorder("a", journal), stopper, checkpointer,
+             JournalingTelemetry(telemetry=tel),
+             _HookRecorder("z", journal)],
+            max_rounds=10,
+        )
+        history = trainer.run()
+
+        # Round 1 "improves" from -inf, then patience=2 stale rounds trip it.
+        assert stopper.stopped_at == 3
+        assert history.rounds[-1] == 3
+        # ...but every callback still saw every completed round, in order.
+        per_round = [e for e in journal if e[1].startswith("round")]
+        assert per_round == [
+            ("a", "round1"), ("tel", "round1"), ("z", "round1"),
+            ("a", "round2"), ("tel", "round2"), ("z", "round2"),
+            ("a", "round3"), ("tel", "round3"), ("z", "round3"),
+        ]
+        # Checkpointer ran alongside and captured every round.
+        assert set(checkpointer.snapshots) == {1, 2, 3}
+        # The telemetry callback recorded the same rounds as events.
+        round_events = [
+            e for e in tel.events.events() if e.name == "round_end"
+        ]
+        assert [e.fields["round"] for e in round_events] == [1, 2, 3]
+        assert tel.metrics.gauges()["rounds_completed"] == 3.0
+
+    def test_time_budget_stops_mid_training(self, small_fed, small_edges):
+        """TimeBudget halts a long run early; later callbacks still close out."""
+        journal = []
+        # Any real round exceeds this, so training stops right after round 1
+        # of 50 — the budget check runs between rounds, never inside one.
+        budget = TimeBudget(seconds=1e-6)
+        trainer = make_trainer(
+            small_fed, small_edges,
+            [budget, _HookRecorder("rec", journal)],
+            max_rounds=50,
+        )
+        history = trainer.run()
+        assert history.rounds[-1] == 1
+        # The recorder registered after TimeBudget still got train_end.
+        assert journal[-1] == ("rec", "end")
+
+    def test_stop_vote_from_any_callback_wins(self, small_fed, small_edges):
+        """A truthy on_round_end from one callback stops the whole run even
+        when every other callback votes to continue."""
+        journal = []
+
+        class StopAtTwo(Callback):
+            def on_round_end(self, trainer, round_idx):
+                return round_idx >= 2
+
+        trainer = make_trainer(
+            small_fed, small_edges,
+            [_HookRecorder("rec", journal), StopAtTwo(),
+             TelemetryCallback(telemetry=Telemetry())],
+            max_rounds=10,
+        )
+        history = trainer.run()
+        assert history.rounds[-1] == 2
 
 
 class TestMetricTracker:

@@ -10,7 +10,7 @@ from repro.core import (
     TrainerConfig,
 )
 from repro.costs import paper_cost_model
-from repro.grouping import CoVGrouping, RandomGrouping, group_clients_per_edge
+from repro.grouping import CoVGrouping, group_clients_per_edge
 from repro.nn import make_mlp
 from repro.sampling import AggregationMode
 
@@ -189,3 +189,37 @@ class TestConfigValidation:
             TrainerConfig(num_sampled=0)
         with pytest.raises(ValueError):
             TrainerConfig(max_rounds=0)
+
+    def test_negative_lr(self):
+        with pytest.raises(ValueError, match="lr"):
+            TrainerConfig(lr=-0.1)
+        with pytest.raises(ValueError, match="lr"):
+            TrainerConfig(lr=0.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainerConfig(batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainerConfig(batch_size=-32)
+
+    def test_invalid_eval_every(self):
+        with pytest.raises(ValueError, match="eval_every"):
+            TrainerConfig(eval_every=0)
+
+    def test_unknown_parallel_backend(self):
+        with pytest.raises(ValueError, match="parallel_backend"):
+            TrainerConfig(parallel_backend="gpu")
+
+    def test_unknown_sampling_method(self):
+        with pytest.raises(ValueError, match="sampling_method"):
+            TrainerConfig(sampling_method="uniformly")
+
+    def test_known_sampling_methods_accepted(self):
+        for method in ("random", "rcov", "srcov", "esrcov"):
+            assert TrainerConfig(sampling_method=method).sampling_method == method
+
+    def test_invalid_dropout_prob(self):
+        with pytest.raises(ValueError, match="client_dropout_prob"):
+            TrainerConfig(client_dropout_prob=1.0)
+        with pytest.raises(ValueError, match="client_dropout_prob"):
+            TrainerConfig(client_dropout_prob=-0.1)

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.experiments.cli import GENERATORS, main
 
 
@@ -36,3 +34,23 @@ class TestCLI:
         data = json.loads(capsys.readouterr().out)
         assert data["figure"] == "5"
         assert "CoVG" in data["series"]
+
+    def test_telemetry_flag_writes_trace(self, capsys, tmp_path):
+        from repro.telemetry import get_active, load_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        # fig7 actually trains (fig5 only times grouping), so real spans land.
+        assert main(["fig7", "--scale", "fast", "--telemetry", path]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out          # normal output unchanged
+        assert "Spans — fig7" in captured.err      # summary goes to stderr
+
+        records = load_jsonl(path)
+        assert records["meta"][0]["label"] == "fig7"
+        assert records["meta"][0]["scale"] == "fast"
+        span_names = {r["name"] for r in records["span"]}
+        assert {"round", "group", "client_update"} <= span_names
+        counters = {r["name"] for r in records["counter"]}
+        assert "groups_sampled" in counters
+        # The ambient instance was deactivated again on the way out.
+        assert not get_active().enabled

@@ -1,0 +1,43 @@
+"""Tests for the telemetry event bus."""
+
+from repro.telemetry import EventBus
+
+
+def fake_clock():
+    fake_clock.t += 1.0
+    return fake_clock.t
+
+
+fake_clock.t = 0.0
+
+
+class TestEventBus:
+    def test_emit_stores_in_order(self):
+        bus = EventBus()
+        bus.emit("a", x=1)
+        bus.emit("b", y=2)
+        events = bus.events()
+        assert [e.name for e in events] == ["a", "b"]
+        assert events[0].fields == {"x": 1}
+        assert len(bus) == 2
+
+    def test_subscribers_notified_synchronously(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.name))
+        bus.subscribe(lambda e: seen.append(e.name.upper()))
+        bus.emit("round_end")
+        assert seen == ["round_end", "ROUND_END"]
+
+    def test_injected_clock_timestamps(self):
+        bus = EventBus(clock=iter(range(100)).__next__)
+        a = bus.emit("a")
+        b = bus.emit("b")
+        assert (a.t, b.t) == (0, 1)
+
+    def test_as_dict(self):
+        bus = EventBus(clock=lambda: 5.0)
+        event = bus.emit("train_start", label="run")
+        assert event.as_dict() == {
+            "name": "train_start", "t": 5.0, "fields": {"label": "run"},
+        }

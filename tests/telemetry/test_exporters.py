@@ -1,0 +1,158 @@
+"""Exporter tests: JSONL lossless dump, CSV/Prometheus round-trips, summary."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    load_jsonl,
+    parse_prometheus,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+@pytest.fixture()
+def tel():
+    """A telemetry instance with one of everything recorded."""
+    tel = Telemetry(label="unit", clock=FakeClock())
+    tel.meta["scale"] = "fast"
+    with tel.span("round", index=0):
+        with tel.span("group", group_id=1):
+            pass
+    tel.inc("cloud_bytes_aggregated", 1024)
+    tel.inc("clients_dropped", 3)
+    tel.set_gauge("gamma_p", 0.1234567891011)
+    tel.observe("round_cost", 10.0)
+    tel.observe("round_cost", 30.0)
+    tel.event("train_start", label="unit")
+    return tel
+
+
+class TestJsonl:
+    def test_roundtrip(self, tel, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = tel.to_jsonl(path)
+        records = load_jsonl(path)
+        assert sum(len(v) for v in records.values()) == count
+        assert records["meta"] == [{"label": "unit", "scale": "fast"}]
+        spans = {r["name"]: r for r in records["span"]}
+        assert spans["group"]["parent_id"] == spans["round"]["span_id"]
+        assert spans["group"]["duration"] <= spans["round"]["duration"]
+        counters = {r["name"]: r["value"] for r in records["counter"]}
+        assert counters == {"cloud_bytes_aggregated": 1024.0, "clients_dropped": 3.0}
+        gauges = {r["name"]: r["value"] for r in records["gauge"]}
+        assert gauges["gamma_p"] == 0.1234567891011
+        (hist,) = records["histogram"]
+        assert hist["name"] == "round_cost"
+        assert hist["values"] == [10.0, 30.0]
+        assert hist["count"] == 2 and hist["sum"] == 40.0
+        (event,) = records["event"]
+        assert event["name"] == "train_start"
+
+    def test_span_attrs_survive(self, tel, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tel.to_jsonl(path)
+        spans = {r["name"]: r for r in load_jsonl(path)["span"]}
+        assert spans["group"]["attrs"] == {"group_id": 1}
+
+
+class TestCsv:
+    def test_rows(self, tel, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        rows = tel.to_csv(path)
+        lines = open(path).read().strip().splitlines()
+        assert lines[0] == "kind,name,count,value,min,max,mean"
+        assert len(lines) == rows + 1
+        body = {line.split(",")[1]: line.split(",") for line in lines[1:]}
+        assert float(body["cloud_bytes_aggregated"][3]) == 1024.0
+        assert float(body["gamma_p"][3]) == 0.1234567891011
+        hist = body["round_cost"]
+        assert (int(hist[2]), float(hist[3])) == (2, 40.0)
+
+    def test_csv_prometheus_agree(self, tel, tmp_path):
+        """The two summary exports expose the same counter/gauge values."""
+        path = str(tmp_path / "metrics.csv")
+        tel.to_csv(path)
+        csv_values = {}
+        for line in open(path).read().strip().splitlines()[1:]:
+            kind, name, _, value = line.split(",")[:4]
+            if kind in ("counter", "gauge"):
+                csv_values[name] = float(value)
+        prom = parse_prometheus(tel.to_prometheus())
+        for name, value in csv_values.items():
+            assert prom[f"repro_{name}"] == value
+
+
+class TestPrometheus:
+    def test_exact_roundtrip(self, tel):
+        text = tel.to_prometheus()
+        values = parse_prometheus(text)
+        assert values["repro_cloud_bytes_aggregated"] == 1024.0
+        # repr() float formatting makes the round-trip exact, not approximate.
+        assert values["repro_gamma_p"] == 0.1234567891011
+        assert values["repro_round_cost_count"] == 2.0
+        assert values["repro_round_cost_sum"] == 40.0
+
+    def test_type_comments_present(self, tel):
+        text = tel.to_prometheus()
+        assert "# TYPE repro_cloud_bytes_aggregated counter" in text
+        assert "# TYPE repro_gamma_p gauge" in text
+        assert "# TYPE repro_round_cost summary" in text
+
+    def test_span_aggregates_exposed(self, tel):
+        values = parse_prometheus(tel.to_prometheus())
+        assert values['repro_span_count{name="round"}'] == 1.0
+        assert values['repro_span_seconds_total{name="round"}'] > 0.0
+
+    def test_name_sanitised(self):
+        tel = Telemetry()
+        tel.inc("weird name-with.chars")
+        assert "repro_weird_name_with_chars" in tel.to_prometheus()
+
+
+class TestSummary:
+    def test_contains_spans_and_metrics(self, tel):
+        text = tel.summary()
+        assert "Spans — unit" in text
+        assert "round" in text and "group" in text
+        assert "gamma_p" in text
+        assert "Events: 1" in text
+
+    def test_empty(self):
+        assert Telemetry().summary() == "(no telemetry recorded)"
+
+
+class TestNullTelemetry:
+    def test_exports_raise(self, tmp_path):
+        with pytest.raises(RuntimeError, match="disabled"):
+            NULL_TELEMETRY.to_jsonl(str(tmp_path / "x.jsonl"))
+        with pytest.raises(RuntimeError, match="disabled"):
+            NULL_TELEMETRY.to_csv(str(tmp_path / "x.csv"))
+        with pytest.raises(RuntimeError, match="disabled"):
+            NULL_TELEMETRY.to_prometheus()
+
+    def test_summary_is_harmless(self):
+        assert NULL_TELEMETRY.summary() == "(telemetry disabled)"
+
+    def test_noop_surface(self):
+        assert NULL_TELEMETRY.enabled is False
+        with NULL_TELEMETRY.span("anything"):
+            assert NULL_TELEMETRY.current_span_id() is None
+        NULL_TELEMETRY.inc("x")
+        NULL_TELEMETRY.set_gauge("x", 1.0)
+        NULL_TELEMETRY.observe("x", 1.0)
+        assert NULL_TELEMETRY.event("x") is None
+        assert NULL_TELEMETRY.ingest_spans([]) == []
+
+    def test_null_span_is_reentrant(self):
+        with NULL_TELEMETRY.span("a"):
+            with NULL_TELEMETRY.span("b"):
+                pass

@@ -1,0 +1,121 @@
+"""Tests for counters, gauges, histograms, and the registry."""
+
+import math
+import threading
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_thread_safe(self):
+        c = Counter("x")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_nan_until_set(self):
+        g = Gauge("x")
+        assert math.isnan(g.value)
+        g.set(3)
+        assert g.value == 3.0
+
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(1)
+        g.set(-2)
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(16.0)
+        assert h.min == 1.0
+        assert h.max == 10.0
+        assert h.mean == pytest.approx(4.0)
+        assert h.values() == [1.0, 2.0, 3.0, 10.0]
+
+    def test_empty_stats_are_nan(self):
+        h = Histogram("x")
+        assert h.count == 0
+        assert math.isnan(h.min) and math.isnan(h.max) and math.isnan(h.mean)
+        assert math.isnan(h.percentile(50))
+
+    def test_percentile_nearest_rank(self):
+        h = Histogram("x")
+        for v in range(1, 11):  # 1..10
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(50) == 5
+        assert h.percentile(100) == 10
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("a")
+
+    def test_views_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(1)
+        assert reg.counters() == {"c": 2.0}
+        assert reg.gauges() == {"g": 7.0}
+        assert list(reg.histograms()) == ["h"]
+
+    def test_snapshot_roundtrip_merge(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("g").set(1)
+        a.histogram("h").observe(5)
+
+        b = MetricsRegistry()
+        b.counter("n").inc(4)
+        b.gauge("g").set(9)
+        b.histogram("h").observe(7)
+
+        a.merge_snapshot(b.snapshot())
+        assert a.counters()["n"] == 7.0          # counters add
+        assert a.gauges()["g"] == 9.0            # gauges: last write wins
+        assert a.histograms()["h"].values() == [5.0, 7.0]  # histograms extend
+
+    def test_merge_into_empty(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.counter("n").inc(1)
+        a.merge_snapshot(b.snapshot())
+        assert a.counters() == {"n": 1.0}

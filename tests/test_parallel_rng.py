@@ -30,6 +30,15 @@ class TestParallelMap:
         pm = ParallelMap("serial")
         assert pm.starmap(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
 
+    def test_starmap_process_backend(self):
+        # Regression: starmap used a lambda wrapper, which cannot be pickled
+        # into ProcessPoolExecutor workers. operator.pow is picklable.
+        import operator
+
+        pm = ParallelMap("process", max_workers=2)
+        out = pm.starmap(operator.pow, [(2, 3), (3, 2), (5, 1)])
+        assert out == [8, 9, 5]
+
     def test_single_item_short_circuits(self):
         pm = ParallelMap("thread")
         assert pm.map(lambda x: x + 1, [41]) == [42]
