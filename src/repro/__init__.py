@@ -60,6 +60,19 @@ from repro.data import (
     dirichlet_partition,
     make_dataset,
 )
+from repro.faults import (
+    ClientDropout,
+    FaultEvent,
+    FaultPlan,
+    FaultTrace,
+    GroupFailure,
+    MessageLoss,
+    RetryPolicy,
+    Straggler,
+    get_active_plan,
+    plan_activated,
+    set_active_plan,
+)
 from repro.grouping import (
     CDGGrouping,
     CoVGammaGrouping,
@@ -162,6 +175,18 @@ __all__ = [
     "METHODS",
     "build_method",
     "FedCLARTrainer",
+    # faults
+    "FaultPlan",
+    "FaultEvent",
+    "FaultTrace",
+    "ClientDropout",
+    "Straggler",
+    "MessageLoss",
+    "RetryPolicy",
+    "GroupFailure",
+    "plan_activated",
+    "get_active_plan",
+    "set_active_plan",
     # costs
     "CostModel",
     "LinearCost",

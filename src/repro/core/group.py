@@ -4,7 +4,9 @@ One call = the K group rounds for one sampled group: every client starts
 from the current group model, runs E local rounds, and the edge server
 aggregates the client models weighted by n_i/n_g. Optionally, the group
 aggregation actually runs through secure aggregation + backdoor detection
-(the group operations the cost model charges for).
+(the group operations the cost model charges for), and a
+:class:`repro.faults.FaultPlan` injects client dropouts, stragglers, and
+lossy uplinks into the round.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from repro.core.aggregation import weighted_average
 from repro.core.client import run_local_rounds
 from repro.core.strategies import LocalStrategy
 from repro.data.client_data import ClientDataset
+from repro.faults.trace import FaultEvent
 from repro.grouping.base import Group
 from repro.nn.model import Model
 from repro.nn.optim import SGD
@@ -47,6 +50,8 @@ def run_group_round(
     update_transforms: dict | None = None,
     telemetry: Telemetry | None = None,
     parent_span_id: int | None = None,
+    fault_plan=None,
+    fault_events: list | None = None,
 ) -> np.ndarray:
     """Run the K×(clients×E) loop for one group; returns the group model.
 
@@ -84,6 +89,14 @@ def run_group_round(
         ``backdoor`` / ``aggregate`` children. ``parent_span_id`` stitches
         the span under the trainer's ``round`` span when this call runs on
         a pool worker thread (thread-local nesting covers the serial path).
+    fault_plan / fault_events:
+        Optional :class:`repro.faults.FaultPlan`: every group round asks
+        the plan (pure, keyed decisions) which clients drop — ``before``
+        (no compute), ``mid`` (compute burned, no upload) or ``after``
+        (upload masked then lost, forcing Shamir mask reconstruction when
+        ``dropout_aggregator`` is set) — which uploads straggle, and which
+        are lost on the uplink after retries. Injected faults are appended
+        to ``fault_events`` (a plain list; the trainer merges and meters).
     """
     if not 0.0 <= dropout_prob < 1.0:
         raise ValueError(f"dropout_prob must be in [0, 1), got {dropout_prob}")
@@ -95,6 +108,7 @@ def run_group_round(
     if n_g <= 0:
         raise ValueError(f"group {group.group_id} has no data")
     data_weights = n_i / n_g
+    gid = group.group_id
 
     group_params = global_params.copy()  # Line 8: x^g_{t,0} = x_t
     num_params = group_params.shape[0]
@@ -102,16 +116,46 @@ def run_group_round(
     client_rngs = rng.spawn(len(members))
     #: clients the defense flagged earlier in this group session
     banned: set[int] = set()
+    #: minimum clients that must deliver an update for aggregation (and for
+    #: the recovery protocol's Shamir threshold, when in use)
+    min_alive = 1
+    if dropout_aggregator is not None:
+        min_alive = min(dropout_aggregator.threshold, len(members))
 
     with tel.span(
         "group",
         parent_id=parent_span_id,
-        group_id=group.group_id,
+        group_id=gid,
         edge_id=group.edge_id,
         size=len(members),
     ):
         for k in range(group_rounds):
+            # ---------------- fault-plan decisions (pure, keyed by ids) ----
+            # Decided before training so a 'before' dropout skips compute.
+            drop_phase: dict[int, str] = {}
+            if fault_plan is not None:
+                for idx, client in enumerate(members):
+                    phase = fault_plan.client_dropout(
+                        round_id, gid, k, client.client_id
+                    )
+                    if phase is not None:
+                        drop_phase[idx] = phase
+                # Never let dropouts kill the whole aggregation: spare
+                # clients (lowest member index first — deterministic on any
+                # backend) until min_alive can deliver.
+                while len(members) - len(drop_phase) < min_alive and drop_phase:
+                    del drop_phase[min(drop_phase)]
+
             for idx, client in enumerate(members):
+                if drop_phase.get(idx) == "before":
+                    # Device died before training: no compute, no upload.
+                    # Zero update keeps downstream buffers well-defined.
+                    client_params[idx] = group_params
+                    if fault_events is not None:
+                        fault_events.append(FaultEvent(
+                            "dropout", round_id, gid, client.client_id, k, "before"
+                        ))
+                    continue
                 with tel.span("client_update", client_id=client.client_id, k=k):
                     end, _ = run_local_rounds(
                         model,
@@ -127,6 +171,15 @@ def run_group_round(
                         telemetry=tel,
                     )
                 client_params[idx] = end
+                if drop_phase.get(idx) == "mid":
+                    # Died during local steps: compute burned, nothing
+                    # uploaded (the ledger still charges the group — that
+                    # wasted work is the point of the fault).
+                    client_params[idx] = group_params
+                    if fault_events is not None:
+                        fault_events.append(FaultEvent(
+                            "dropout", round_id, gid, client.client_id, k, "mid"
+                        ))
 
             # Per-round working views (the persistent client_params buffer
             # must never be rebound — the next k iteration refills it for
@@ -134,9 +187,13 @@ def run_group_round(
             params_k = client_params
             weights = data_weights
             updates = client_params - group_params
+            #: members that never reach the uplink this round (before/mid)
+            pre_dead = {i for i, p in drop_phase.items() if p != "after"}
             # Adversarial clients manipulate their upload (repro.attacks).
             if update_transforms:
                 for idx, client in enumerate(members):
+                    if idx in pre_dead:
+                        continue
                     attack = update_transforms.get(client.client_id)
                     if attack is not None:
                         updates[idx] = attack.transform_update(updates[idx], rng=rng)
@@ -145,6 +202,8 @@ def run_group_round(
                 from repro.compression.error_feedback import ErrorFeedback
 
                 for idx, client in enumerate(members):
+                    if idx in pre_dead:
+                        continue
                     if isinstance(compressor, ErrorFeedback):
                         out = compressor.compress(
                             client.client_id, updates[idx], rng=rng
@@ -153,15 +212,105 @@ def run_group_round(
                         out = compressor.compress(updates[idx], rng=rng)
                     updates[idx] = out.decoded
                 params_k = group_params + updates
+
+            # ---------------- uplink faults: stragglers + message loss ----
+            cur_members = members
+            if fault_plan is not None:
+                after_dead: set[int] = {
+                    i for i, p in drop_phase.items() if p == "after"
+                }
+                for idx, client in enumerate(members):
+                    if idx in pre_dead or idx in after_dead:
+                        continue
+                    delay = fault_plan.straggler_delay(
+                        round_id, gid, k, client.client_id
+                    )
+                    if delay > 0.0 and fault_events is not None:
+                        fault_events.append(FaultEvent(
+                            "straggler", round_id, gid, client.client_id, k,
+                            delay_s=delay,
+                        ))
+                    up = fault_plan.uplink(round_id, gid, k, client.client_id)
+                    if (up.retries or not up.delivered) and fault_events is not None:
+                        fault_events.append(FaultEvent(
+                            "message_loss", round_id, gid, client.client_id, k,
+                            phase="lost" if not up.delivered else "retried",
+                            delay_s=up.delay_s,
+                            retries=up.retries,
+                        ))
+                    if not up.delivered:
+                        # All retries exhausted: equivalent to dropping
+                        # after masking — the update is gone but its masks
+                        # are in flight.
+                        after_dead.add(idx)
+                for idx, client in enumerate(members):
+                    if idx in after_dead and drop_phase.get(idx) == "after":
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "dropout", round_id, gid, client.client_id, k,
+                                "after",
+                            ))
+                # Keep the aggregation (and Shamir reconstruction) viable.
+                while (
+                    len(members) - len(pre_dead) - len(after_dead) < min_alive
+                    and after_dead
+                ):
+                    after_dead.discard(min(after_dead))
+
+                if pre_dead:
+                    keep = np.array(
+                        [i not in pre_dead for i in range(len(members))], dtype=bool
+                    )
+                    updates = updates[keep]
+                    params_k = params_k[keep]
+                    weights = weights[keep] / weights[keep].sum()
+                    cur_members = [
+                        m for i, m in enumerate(members) if i not in pre_dead
+                    ]
+                    # Re-index the after-death set into the filtered frame.
+                    old_to_new = np.cumsum(keep) - 1
+                    after_dead = {int(old_to_new[i]) for i in after_dead}
+
+                if after_dead:
+                    if dropout_aggregator is not None:
+                        # Real recovery: reconstruct the dropped clients'
+                        # masks from survivor seed shares and cancel them.
+                        alive = np.array(
+                            [i not in after_dead for i in range(len(cur_members))],
+                            dtype=bool,
+                        )
+                        w = weights / weights[alive].sum()
+                        with tel.span("secagg", k=k, recovery=True):
+                            res = dropout_aggregator.aggregate(
+                                updates * w[:, None],
+                                dropped=after_dead,
+                                round_id=round_id * group_rounds + k,
+                                rng=rng,
+                            )
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "secagg_recovery", round_id, gid, None, k,
+                                retries=res.reconstructed_pairs,
+                            ))
+                        group_params = group_params + res.total
+                        continue
+                    keep = np.array(
+                        [i not in after_dead for i in range(len(cur_members))],
+                        dtype=bool,
+                    )
+                    updates = updates[keep]
+                    params_k = params_k[keep]
+                    weights = weights[keep] / weights[keep].sum()
+                    cur_members = [
+                        m for i, m in enumerate(cur_members) if i not in after_dead
+                    ]
+
             # Simulated client dropout: failed clients never submit this round.
-            if dropout_prob > 0.0 and len(members) > 1:
-                alive = rng.random(len(members)) >= dropout_prob
+            if dropout_prob > 0.0 and len(cur_members) > 1:
+                alive = rng.random(len(cur_members)) >= dropout_prob
                 # Keep enough survivors for aggregation (and for the recovery
                 # protocol's Shamir threshold, when in use).
-                min_alive = 1
-                if dropout_aggregator is not None:
-                    min_alive = min(dropout_aggregator.threshold, len(members))
-                while alive.sum() < min_alive:
+                while alive.sum() < min(min_alive, len(cur_members)):
                     dead = np.flatnonzero(~alive)
                     alive[dead[int(rng.integers(dead.size))]] = True
                 if not alive.all():
@@ -179,16 +328,21 @@ def run_group_round(
                                 round_id=round_id * group_rounds + k,
                                 rng=rng,
                             )
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "secagg_recovery", round_id, gid, None, k,
+                                retries=res.reconstructed_pairs,
+                            ))
                         group_params = group_params + res.total
                         continue
                     updates = updates[alive]
                     params_k = params_k[alive]
                     weights = weights[alive] / weights[alive].sum()
-                    members_round = [m for m, a in zip(members, alive) if a]
+                    members_round = [m for m, a in zip(cur_members, alive) if a]
                 else:
-                    members_round = members
+                    members_round = cur_members
             else:
-                members_round = members
+                members_round = cur_members
 
             # Clients flagged in an earlier group round of this session stay
             # banned — re-admitting a detected attacker at k+1 would

@@ -2,8 +2,8 @@
 
 The trainer wires together every subsystem: the federated dataset, the
 formed groups, the cloud sampler, the local-update strategy, the cost
-ledger, and (optionally) the real secure-aggregation/backdoor-detection
-group operations and a parallel group executor.
+ledger, (optionally) the real secure-aggregation/backdoor-detection group
+operations, a parallel group executor, and a fault-injection plan.
 
 Stopping is by global-round count and/or cost budget — the paper's
 evaluations fix a cost budget ("The budget is set as 10⁶ unit", §7.2) and
@@ -12,7 +12,7 @@ compare accuracy reached within it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,17 +22,18 @@ from repro.core.strategies import LocalStrategy, PlainSGDStrategy
 from repro.costs.ledger import CostLedger
 from repro.costs.model import CostModel, LinearCost, QuadraticCost
 from repro.data.client_data import FederatedDataset
+from repro.faults import FaultEvent, FaultPlan, FaultTrace, get_active_plan
 from repro.grouping.base import Group, Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
 from repro.nn.model import Model
 from repro.nn.optim import SGD
 from repro.parallel import ParallelMap, available_backends
-from repro.rng import make_rng
+from repro.rng import derive_seed, make_rng
 from repro.sampling.probability import WEIGHT_FUNCTIONS
 from repro.sampling.sampler import AggregationMode, GroupSampler
 from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
-from repro.telemetry import Telemetry, resolve as resolve_telemetry
+from repro.telemetry import NULL_TELEMETRY, Telemetry, resolve as resolve_telemetry
 
 __all__ = ["TrainerConfig", "GroupFELTrainer"]
 
@@ -43,6 +44,11 @@ class TrainerConfig:
 
     Attributes mirror the paper's notation: ``group_rounds`` = K,
     ``local_rounds`` = E, ``num_sampled`` = S = |S_t|.
+
+    ``faults`` accepts a :class:`repro.faults.FaultPlan` or a spec string
+    (the CLI grammar, e.g. ``"dropout:0.2,straggler:0.1:2.0"``) — a string
+    is parsed with a plan seed derived from ``seed``, so the whole faulted
+    run replays from the one config.
     """
 
     group_rounds: int = 5
@@ -64,6 +70,7 @@ class TrainerConfig:
     use_backdoor_defense: bool = False
     client_dropout_prob: float = 0.0
     parallel_backend: str = "serial"
+    faults: FaultPlan | str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -97,6 +104,98 @@ class TrainerConfig:
                 f"got {self.sampling_method!r}"
             )
         self.aggregation_mode = AggregationMode(self.aggregation_mode)
+        if isinstance(self.faults, str):
+            self.faults = FaultPlan.from_spec(
+                self.faults, seed=derive_seed(self.seed, "faults")
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or spec string, got {self.faults!r}"
+            )
+
+
+@dataclass
+class _GroupTask:
+    """Everything a process-pool worker needs to run one group round.
+
+    The thread path closes over the trainer; the process path cannot (the
+    trainer holds unpicklable state — live telemetry, pools), so the group
+    operations are *reconstructed* in the worker from config flags. Custom
+    ``backdoor_detector`` / secure-aggregator instances therefore only ride
+    along on the serial/thread backends.
+    """
+
+    model_fn: object
+    group: Group
+    rng: np.random.Generator
+    global_params: np.ndarray
+    lr: float
+    momentum: float
+    weight_decay: float
+    group_rounds: int
+    local_rounds: int
+    batch_size: int
+    step_mode: str
+    strategy: LocalStrategy
+    round_idx: int
+    use_secagg: bool
+    use_backdoor: bool
+    dropout_threshold: int | None
+    dropout_prob: float
+    payload_factor: int
+    compressor: object = None
+    attackers: dict = field(default_factory=dict)
+    fault_plan: FaultPlan | None = None
+
+
+def _process_group_worker(
+    task: _GroupTask, clients: list
+) -> tuple[np.ndarray, list[FaultEvent]]:
+    """Run one group round in a worker process (module-level: picklable)."""
+    model = task.model_fn()
+    optimizer = SGD(
+        model, lr=task.lr, momentum=task.momentum, weight_decay=task.weight_decay
+    )
+    secure_aggregator = (
+        SecureAggregator(payload_factor=task.payload_factor, telemetry=NULL_TELEMETRY)
+        if task.use_secagg
+        else None
+    )
+    backdoor_detector = (
+        BackdoorDetector(telemetry=NULL_TELEMETRY) if task.use_backdoor else None
+    )
+    dropout_aggregator = None
+    if task.dropout_threshold is not None:
+        from repro.secure.dropout import DropoutTolerantAggregator
+
+        dropout_aggregator = DropoutTolerantAggregator(
+            threshold=task.dropout_threshold
+        )
+    events: list[FaultEvent] = []
+    params = run_group_round(
+        model,
+        optimizer,
+        task.group,
+        clients,
+        task.global_params,
+        group_rounds=task.group_rounds,
+        local_rounds=task.local_rounds,
+        batch_size=task.batch_size,
+        rng=task.rng,
+        strategy=task.strategy,
+        step_mode=task.step_mode,
+        secure_aggregator=secure_aggregator,
+        backdoor_detector=backdoor_detector,
+        round_id=task.round_idx,
+        compressor=task.compressor,
+        dropout_prob=task.dropout_prob,
+        dropout_aggregator=dropout_aggregator,
+        update_transforms=task.attackers or None,
+        telemetry=NULL_TELEMETRY,
+        fault_plan=task.fault_plan,
+        fault_events=events,
+    )
+    return params, events
 
 
 class GroupFELTrainer:
@@ -106,7 +205,8 @@ class GroupFELTrainer:
     ----------
     model_fn:
         Zero-argument factory producing a fresh model (fresh instances are
-        needed per parallel worker; the serial path builds one).
+        needed per parallel worker; the serial path builds one). Must be
+        picklable (a module-level function) for the ``process`` backend.
     fed:
         The federated dataset (clients, shards, global test set).
     groups:
@@ -126,8 +226,18 @@ class GroupFELTrainer:
         ambiently activated via ``repro.telemetry.activated``), every round
         emits nested wall-clock spans (``round > group > client_update /
         secagg / backdoor / aggregate``) plus cost/sampling/aggregation
-        metrics. Default: the ambient instance, which is a zero-overhead
-        no-op unless one was activated.
+        metrics — and, under a fault plan, the ``faults.*`` /
+        ``secagg.reconstructions`` counters.
+
+    Fault injection
+    ---------------
+    ``config.faults`` (or an ambient plan installed via
+    ``repro.faults.plan_activated``) schedules client dropouts, stragglers,
+    uplink message loss, and whole-group failures. Decisions are pure
+    functions of the plan seed and the site ids, so a faulted run replays
+    bit-identically on any parallel backend. Injected events accumulate in
+    :attr:`fault_trace`; straggler/retry wall-clock folds into the cost
+    ledger's fault-overhead series and the wall-clock simulator.
     """
 
     def __init__(
@@ -167,6 +277,19 @@ class GroupFELTrainer:
         ):
             raise ValueError("regroup_every requires grouper and edge_assignment")
 
+        #: resolved fault plan: the config's, else the ambient one (see
+        #: ``repro.faults.plan_activated``), else None. An empty plan
+        #: (no injectors) counts as no plan.
+        plan = (
+            self.config.faults
+            if self.config.faults is not None
+            else get_active_plan()
+        )
+        self.fault_plan: FaultPlan | None = plan if plan else None
+        #: every fault injected so far (see ``FaultTrace.signature`` for
+        #: the deterministic-replay fingerprint)
+        self.fault_trace = FaultTrace()
+
         self.rng = make_rng(self.config.seed)
         self.model: Model = model_fn()
         self.optimizer = SGD(
@@ -199,9 +322,15 @@ class GroupFELTrainer:
                 else None
             )
         # Dropouts + secure aggregation together require the recovery
-        # protocol (survivors reconstruct dropped clients' masks).
+        # protocol (survivors reconstruct dropped clients' masks). A fault
+        # plan that can lose uploads post-masking needs it too.
         self.dropout_aggregator = None
-        if self.config.client_dropout_prob > 0 and self.config.use_secure_aggregation:
+        plan_drops = self.fault_plan is not None and (
+            self.fault_plan.has_dropout or self.fault_plan.has_message_loss
+        )
+        if self.config.use_secure_aggregation and (
+            self.config.client_dropout_prob > 0 or plan_drops
+        ):
             from repro.secure.dropout import DropoutTolerantAggregator
 
             self.dropout_aggregator = DropoutTolerantAggregator(threshold=2)
@@ -215,6 +344,8 @@ class GroupFELTrainer:
         self.wallclock = wallclock
         if wallclock is not None:
             self.history.extra["wall_clock_s"] = []
+        if self.fault_plan is not None:
+            self.history.extra["fault_delay_s"] = []
         #: client_id -> Attack (model-poisoning transforms; repro.attacks)
         self.attackers = dict(attackers or {})
         #: groups sampled each round (feeds participation/fairness metrics)
@@ -256,6 +387,58 @@ class GroupFELTrainer:
         )
         self.sampler = self._make_sampler()
 
+    # ------------------------------------------------------------------ faults
+    def _apply_group_failures(
+        self, selected: list[Group], weights: np.ndarray
+    ) -> tuple[list[Group], np.ndarray, list[FaultEvent]]:
+        """Drop whole groups per the fault plan, with graceful degradation.
+
+        Surviving weights are renormalized to preserve the original total
+        mass — for biased/stabilized weights (which sum to 1) this is the
+        Eq. (35) renormalization over survivors; for unbiased weights it
+        keeps the estimator's scale while redistributing the failed
+        groups' share. At least one group always survives (the one with
+        the largest survival margin, deterministically).
+        """
+        plan = self.fault_plan
+        draws = np.array(
+            [plan.group_failure_draw(self.round_idx, g.group_id) for g in selected]
+        )
+        alive = draws >= 0.0
+        if not alive.any():
+            alive[int(np.argmax(draws))] = True
+        if alive.all():
+            return selected, weights, []
+        events = [
+            FaultEvent("group_failure", self.round_idx, g.group_id)
+            for g, a in zip(selected, alive) if not a
+        ]
+        survivors = [g for g, a in zip(selected, alive) if a]
+        weights = weights[alive] * (weights.sum() / weights[alive].sum())
+        return survivors, weights, events
+
+    def _meter_faults(self, events: list[FaultEvent]) -> float:
+        """Record events in the trace + telemetry; returns their delay sum."""
+        if not events:
+            return 0.0
+        self.fault_trace.extend(events)
+        delay = 0.0
+        tel = self.telemetry
+        for e in events:
+            delay += e.delay_s
+            if not tel.enabled:
+                continue
+            if e.kind == "secagg_recovery":
+                tel.inc("secagg.reconstructions", float(e.retries))
+                continue
+            tel.inc("faults.injected")
+            tel.inc(f"faults.{e.kind}")
+            if e.retries:
+                tel.observe("faults.retries", float(e.retries))
+            if e.delay_s:
+                tel.observe("faults.delay_s", e.delay_s)
+        return delay
+
     # ------------------------------------------------------------------ training
     def _run_one_group(
         self,
@@ -264,8 +447,9 @@ class GroupFELTrainer:
         model: Model,
         optimizer: SGD,
         parent_span_id: int | None = None,
-    ) -> np.ndarray:
-        return run_group_round(
+    ) -> tuple[np.ndarray, list[FaultEvent]]:
+        events: list[FaultEvent] = []
+        params = run_group_round(
             model,
             optimizer,
             group,
@@ -286,6 +470,39 @@ class GroupFELTrainer:
             update_transforms=self.attackers or None,
             telemetry=self.telemetry,
             parent_span_id=parent_span_id,
+            fault_plan=self.fault_plan,
+            fault_events=events,
+        )
+        return params, events
+
+    def _group_task(self, group: Group, rng: np.random.Generator) -> _GroupTask:
+        cfg = self.config
+        return _GroupTask(
+            model_fn=self.model_fn,
+            group=group,
+            rng=rng,
+            global_params=self.global_params,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            group_rounds=cfg.group_rounds,
+            local_rounds=cfg.local_rounds,
+            batch_size=cfg.batch_size,
+            step_mode=cfg.step_mode,
+            strategy=self.strategy,
+            round_idx=self.round_idx,
+            use_secagg=cfg.use_secure_aggregation,
+            use_backdoor=cfg.use_backdoor_defense,
+            dropout_threshold=(
+                self.dropout_aggregator.threshold
+                if self.dropout_aggregator is not None
+                else None
+            ),
+            dropout_prob=cfg.client_dropout_prob,
+            payload_factor=self.strategy.payload_factor,
+            compressor=self.compressor,
+            attackers=self.attackers,
+            fault_plan=self.fault_plan,
         )
 
     def train_round(self) -> float:
@@ -294,6 +511,12 @@ class GroupFELTrainer:
         with tel.span("round", index=self.round_idx):
             with tel.span("sample"):
                 selected, weights = self.sampler.sample()
+            round_events: list[FaultEvent] = []
+            if self.fault_plan is not None:
+                selected, weights, failures = self._apply_group_failures(
+                    selected, weights
+                )
+                round_events.extend(failures)
             self.sampled_history.append(selected)
             group_rngs = self.rng.spawn(len(selected))
             # Worker threads have their own span stacks; hand them the round
@@ -304,11 +527,11 @@ class GroupFELTrainer:
             # its groups serially regardless of the configured backend.
             stateful = self.strategy.name == "scaffold"
             if self._pmap.backend == "serial" or stateful:
-                group_models = [
+                results = [
                     self._run_one_group(g, r, self.model, self.optimizer)
                     for g, r in zip(selected, group_rngs)
                 ]
-            else:
+            elif self._pmap.backend == "thread":
                 def work(args):
                     group, grng = args
                     model = self.model_fn()
@@ -322,7 +545,20 @@ class GroupFELTrainer:
                         group, grng, model, opt, parent_span_id=round_span_id
                     )
 
-                group_models = self._pmap.map(work, list(zip(selected, group_rngs)))
+                results = self._pmap.map(work, list(zip(selected, group_rngs)))
+            else:
+                # Process pool: ship self-contained picklable tasks (group
+                # ops are rebuilt in the worker; spans stay parent-side).
+                tasks = [
+                    (self._group_task(g, r), self.fed.clients)
+                    for g, r in zip(selected, group_rngs)
+                ]
+                results = self._pmap.starmap(_process_group_worker, tasks)
+
+            group_models = [params for params, _ in results]
+            for _, events in results:
+                round_events.extend(events)
+            fault_delay = self._meter_faults(round_events)
 
             stacked = np.vstack(group_models)
             normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
@@ -337,12 +573,22 @@ class GroupFELTrainer:
             cost = self.ledger.charge_round(
                 selected, self.config.group_rounds, self.config.local_rounds
             )
+            if self.fault_plan is not None:
+                self.ledger.record_fault_overhead(fault_delay, len(round_events))
+                self.history.extra["fault_delay_s"].append(fault_delay)
             if self.wallclock is not None:
+                extra = None
+                if round_events:
+                    extra = {}
+                    for e in round_events:
+                        if e.delay_s:
+                            extra[e.group_id] = extra.get(e.group_id, 0.0) + e.delay_s
                 timing = self.wallclock.round_timing(
                     selected,
                     self.ledger.client_sizes,
                     self.config.group_rounds,
                     self.config.local_rounds,
+                    extra_group_delay_s=extra,
                 )
                 self.history.extra["wall_clock_s"].append(timing.total_s)
             self.round_idx += 1

@@ -30,6 +30,11 @@ class CostLedger:
         self.cost_model = cost_model
         self.client_sizes = np.asarray(client_sizes, dtype=np.int64)
         self.round_costs: list[float] = []
+        #: per-round wall-clock seconds added by injected faults
+        #: (stragglers, retry timeouts) — see repro.faults
+        self.fault_delay_s: list[float] = []
+        #: per-round count of injected fault events
+        self.fault_events: list[int] = []
         self.telemetry = resolve_telemetry(telemetry)
 
     @property
@@ -55,6 +60,23 @@ class CostLedger:
             self.telemetry.inc("cost_total", cost)
             self.telemetry.observe("round_cost", cost)
         return cost
+
+    @property
+    def total_fault_delay_s(self) -> float:
+        """Cumulative wall-clock seconds injected faults cost the run."""
+        return float(sum(self.fault_delay_s))
+
+    def record_fault_overhead(self, delay_s: float, num_events: int) -> None:
+        """Record one round's fault overhead (latency, event count).
+
+        Fault delay is *wall clock*, not Eq. (5) resource units, so it is
+        kept as a parallel series rather than folded into ``round_costs`` —
+        accuracy-vs-cost and accuracy-vs-latency degrade independently.
+        """
+        self.fault_delay_s.append(float(delay_s))
+        self.fault_events.append(int(num_events))
+        if self.telemetry.enabled and delay_s:
+            self.telemetry.inc("faults.delay_total_s", float(delay_s))
 
     def estimate_round_cost(
         self, groups: list[Group], group_rounds: int, local_rounds: int

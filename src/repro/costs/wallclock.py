@@ -71,8 +71,15 @@ class WallClockSimulator:
         client_sizes: np.ndarray,
         group_rounds: int,
         local_rounds: int,
+        extra_group_delay_s: dict | None = None,
     ) -> RoundTiming:
-        """Simulate one global round's wall clock over the sampled groups."""
+        """Simulate one global round's wall clock over the sampled groups.
+
+        ``extra_group_delay_s`` maps group_id → injected fault latency
+        (stragglers, uplink retry timeouts — see ``repro.faults``); a
+        group's pipeline stretches by its delay, so a straggling group can
+        become the round's bottleneck exactly as in a real deployment.
+        """
         ce = self.topology.client_edge
         ec = self.topology.edge_cloud
         up = self.comm_model.model_bytes * self.comm_model.payload_factor
@@ -97,6 +104,8 @@ class WallClockSimulator:
                 + group_rounds * (compute_round + comm_round)
                 + t_upload
             )
+            if extra_group_delay_s:
+                total += float(extra_group_delay_s.get(g.group_id, 0.0))
             per_group[g.group_id] = total
             worst_compute = max(worst_compute, group_rounds * compute_round)
             worst_comm = max(worst_comm, group_rounds * comm_round + t_download + t_upload)

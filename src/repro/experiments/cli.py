@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments fig9 --scale fast --seed 0
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig7 --telemetry trace.jsonl
+    python -m repro.experiments fig9 --faults dropout:0.2,straggler:0.1:2.0
     python -m repro.experiments list
 """
 
@@ -13,7 +14,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 
+from repro.faults import FaultPlan, plan_activated
 from repro.telemetry import Telemetry, activated
 
 from repro.experiments.figures import (
@@ -64,6 +67,15 @@ def main(argv: list[str] | None = None) -> int:
         help="enable run telemetry: write the JSONL trace to PATH and print "
         "a span/metric summary to stderr",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject faults into every trainer the target constructs: "
+        "comma-separated name:prob[:param][@phase] terms, e.g. "
+        "'dropout:0.2,straggler:0.1:2.0,loss:0.1,groupfail:0.05' "
+        "(see repro.faults.FaultPlan.from_spec)",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -77,6 +89,16 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    fault_plan = None
+    if args.faults:
+        # Fail on a malformed spec *before* the (possibly long) run.
+        try:
+            fault_plan = FaultPlan.from_spec(args.faults, seed=args.seed)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+
+    telemetry = None
     if args.telemetry:
         # Fail on an unwritable trace path *before* the (possibly long) run,
         # not after, so no results are thrown away over a typo.
@@ -87,16 +109,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot write telemetry trace {args.telemetry!r}: {exc}",
                   file=sys.stderr)
             return 2
-        # Ambient activation: every trainer the generator constructs picks
-        # this instance up without the generators knowing about telemetry.
         telemetry = Telemetry(label=args.target)
         telemetry.meta.update({"scale": args.scale or "fast", "seed": args.seed})
-        with activated(telemetry):
-            result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
+        if args.faults:
+            telemetry.meta["faults"] = args.faults
+
+    # Ambient activation: every trainer the generator constructs picks up
+    # the telemetry instance / fault plan without the generators knowing
+    # about either.
+    with ExitStack() as stack:
+        if telemetry is not None:
+            stack.enter_context(activated(telemetry))
+        if fault_plan is not None:
+            stack.enter_context(plan_activated(fault_plan))
+        result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
+    if telemetry is not None:
         telemetry.to_jsonl(args.telemetry)
         print(telemetry.summary(), file=sys.stderr)
-    else:
-        result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
     if args.json:
         print(json.dumps(result, default=float, indent=1))
         return 0

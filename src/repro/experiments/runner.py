@@ -23,20 +23,27 @@ def run_method(
     group_size_knob: int | None = None,
     max_cov: float | None = None,
     telemetry=None,
+    faults=None,
 ) -> TrainingHistory:
     """Run one named method (see ``repro.baselines.METHODS``) to completion.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) is forwarded to the
     trainer; omit it to use the ambient instance (see
-    ``repro.telemetry.activated``), which defaults to a no-op.
+    ``repro.telemetry.activated``), which defaults to a no-op. ``faults`` (a
+    :class:`repro.faults.FaultPlan` or spec string) overrides the workload
+    config's plan; omit it to use the config's, falling back to the ambient
+    plan (see ``repro.faults.plan_activated``).
     """
     s = workload.scale
+    cfg = workload.trainer_config
+    if faults is not None:
+        cfg = replace(cfg, faults=faults)
     trainer = build_method(
         name,
         workload.model_fn,
         workload.fed,
         workload.edge_assignment,
-        workload.trainer_config,
+        cfg,
         cost_model=workload.cost_model,
         group_size_knob=group_size_knob if group_size_knob is not None else s.min_group_size,
         max_cov=max_cov if max_cov is not None else s.max_cov,
@@ -52,6 +59,7 @@ def run_methods(
     max_rounds: int | None = None,
     cost_budget: float | None = None,
     telemetry=None,
+    faults=None,
 ) -> dict[str, TrainingHistory]:
     """Run several methods over the same workload (same data, same budget)."""
     return {
@@ -61,6 +69,7 @@ def run_methods(
             max_rounds=max_rounds,
             cost_budget=cost_budget,
             telemetry=telemetry,
+            faults=faults,
         )
         for name in names
     }
@@ -74,6 +83,7 @@ def run_combo(
     max_rounds: int | None = None,
     cost_budget: float | None = None,
     telemetry=None,
+    faults=None,
 ) -> TrainingHistory:
     """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
     groups = group_clients_per_edge(
@@ -83,6 +93,8 @@ def run_combo(
         rng=derive_seed(workload.seed, "grouping", label),
     )
     cfg = replace(workload.trainer_config, sampling_method=sampling_method)
+    if faults is not None:
+        cfg = replace(cfg, faults=faults)
     trainer = GroupFELTrainer(
         workload.model_fn,
         workload.fed,

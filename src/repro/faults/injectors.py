@@ -1,0 +1,153 @@
+"""Fault injectors — the composable failure modes of a :class:`FaultPlan`.
+
+Each injector is a small picklable dataclass describing *what* can fail and
+with which parameters; *when* it fires is decided by the plan, which hands
+every decision a dedicated RNG derived from stable keys (round, group, k,
+client). Injectors therefore never hold mutable state, which is what makes
+fault schedules replayable and independent of the execution backend.
+
+An injector may be restricted to a round window via ``start_round`` /
+``end_round`` (``end_round`` exclusive; ``None`` = open-ended) — the
+"per-round schedule" knob of the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DROPOUT_PHASES",
+    "Injector",
+    "ClientDropout",
+    "Straggler",
+    "RetryPolicy",
+    "MessageLoss",
+    "GroupFailure",
+]
+
+#: When a dropout strikes relative to the client's local steps:
+#: ``before`` — the device dies before training (no compute, no upload);
+#: ``mid``    — it dies during training (compute burned, no upload);
+#: ``after``  — it dies after uploading its *masked* vector, the Bonawitz
+#: case that forces the Shamir share-reconstruction path under SecAgg.
+DROPOUT_PHASES = ("before", "mid", "after")
+
+
+@dataclass(frozen=True)
+class Injector:
+    """Base injector: a probability plus an optional round window."""
+
+    prob: float = 0.0
+    start_round: int = 0
+    end_round: int | None = None
+
+    kind = "base"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.start_round < 0:
+            raise ValueError(f"start_round must be >= 0, got {self.start_round}")
+        if self.end_round is not None and self.end_round <= self.start_round:
+            raise ValueError(
+                f"end_round {self.end_round} must be > start_round {self.start_round}"
+            )
+
+    def active(self, round_idx: int) -> bool:
+        """Whether this injector is scheduled for the given global round."""
+        if round_idx < self.start_round:
+            return False
+        return self.end_round is None or round_idx < self.end_round
+
+
+@dataclass(frozen=True)
+class ClientDropout(Injector):
+    """A client drops out of one group round with probability ``prob``."""
+
+    phase: str = "after"
+
+    kind = "dropout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.phase not in DROPOUT_PHASES:
+            raise ValueError(
+                f"phase must be one of {DROPOUT_PHASES}, got {self.phase!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Straggler(Injector):
+    """A client finishes late: adds ``delay_s`` (± jitter) of wall clock.
+
+    The delay never changes the aggregate — stragglers are a latency fault,
+    folded into the wall-clock simulation and the cost ledger's fault
+    overhead series.
+    """
+
+    delay_s: float = 1.0
+    jitter: float = 0.5
+
+    kind = "straggler"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.delay_s <= 0:
+            raise ValueError(f"delay_s must be > 0, got {self.delay_s}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def draw_delay(self, rng: np.random.Generator) -> float:
+        """Delay seconds for one straggling upload (uniform jitter band)."""
+        lo = self.delay_s * (1.0 - self.jitter)
+        hi = self.delay_s * (1.0 + self.jitter)
+        return float(rng.uniform(lo, hi))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an edge uplink retries a lost message.
+
+    Attempt ``a`` (0-indexed) that fails costs ``timeout_s · backoff^a``
+    seconds before the next try; after ``max_retries`` retries the message
+    is abandoned and the client counts as dropped after masking.
+    """
+
+    max_retries: int = 3
+    timeout_s: float = 0.5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def attempt_delay_s(self, attempt: int) -> float:
+        """Timeout + backoff wait burned by failed attempt ``attempt``."""
+        return self.timeout_s * self.backoff**attempt
+
+
+@dataclass(frozen=True)
+class MessageLoss(Injector):
+    """Each client→edge upload attempt is lost with probability ``prob``."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    kind = "message_loss"
+
+
+@dataclass(frozen=True)
+class GroupFailure(Injector):
+    """An entire sampled group fails for one global round.
+
+    The trainer degrades gracefully: the failed group's model is excluded
+    and the Eq. (35) aggregation weights are renormalized over the
+    surviving groups (at least one group is always spared).
+    """
+
+    kind = "group_failure"

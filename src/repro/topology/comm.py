@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.grouping.base import Group
 from repro.topology.network import HierarchicalTopology
 
@@ -73,8 +71,19 @@ class CommModel:
         """Build from a parameter count (float64 wire format)."""
         return cls(topology, model_bytes=8.0 * num_params, payload_factor=payload_factor)
 
-    def round_traffic(self, groups: list[Group], group_rounds: int) -> RoundTraffic:
-        """Traffic for one global round over the sampled groups."""
+    def round_traffic(
+        self,
+        groups: list[Group],
+        group_rounds: int,
+        retries_per_group: dict | None = None,
+    ) -> RoundTraffic:
+        """Traffic for one global round over the sampled groups.
+
+        ``retries_per_group`` maps group_id → number of client uploads the
+        lossy edge uplink had to resend (see ``repro.faults.MessageLoss``);
+        each retry re-ships one upload payload and re-serializes on the
+        uplink, so retries inflate both byte totals and wall clock.
+        """
         ce = self.topology.client_edge
         ec = self.topology.edge_cloud
         up_bytes = self.model_bytes * self.payload_factor
@@ -85,10 +94,11 @@ class CommModel:
         slowest_group = 0.0
         for g in groups:
             s = g.size
+            retries = int(retries_per_group.get(g.group_id, 0)) if retries_per_group else 0
             # 1. global model to each client (via its edge).
             total_down += down_bytes * (1 + s)  # one edge copy + s client copies
-            # 2. K uploads from each client to the edge.
-            total_up += up_bytes * s * group_rounds
+            # 2. K uploads from each client to the edge (+ resends).
+            total_up += up_bytes * (s * group_rounds + retries)
             # 3. K-1 group-model redistributions to each client.
             total_down += down_bytes * s * (group_rounds - 1)
             # 4. one group model to the cloud.
@@ -99,7 +109,12 @@ class CommModel:
             t_download = ec.transfer_time(down_bytes) + ce.transfer_time(down_bytes)
             t_group_round = s * ce.transfer_time(up_bytes) + ce.transfer_time(down_bytes)
             t_upload = ec.transfer_time(up_bytes)
-            t_total = t_download + group_rounds * t_group_round + t_upload
+            t_total = (
+                t_download
+                + group_rounds * t_group_round
+                + retries * ce.transfer_time(up_bytes)
+                + t_upload
+            )
             slowest_group = max(slowest_group, t_total)
 
         return RoundTraffic(

@@ -1,0 +1,103 @@
+"""Unit tests for the fault injector dataclasses."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    DROPOUT_PHASES,
+    ClientDropout,
+    GroupFailure,
+    MessageLoss,
+    RetryPolicy,
+    Straggler,
+)
+
+
+class TestValidation:
+    def test_prob_bounds(self):
+        with pytest.raises(ValueError, match="prob"):
+            ClientDropout(prob=-0.1)
+        with pytest.raises(ValueError, match="prob"):
+            Straggler(prob=1.5)
+
+    def test_round_window_validation(self):
+        with pytest.raises(ValueError, match="start_round"):
+            ClientDropout(prob=0.1, start_round=-1)
+        with pytest.raises(ValueError, match="end_round"):
+            ClientDropout(prob=0.1, start_round=5, end_round=5)
+
+    def test_dropout_phase_validation(self):
+        for phase in DROPOUT_PHASES:
+            assert ClientDropout(prob=0.1, phase=phase).phase == phase
+        with pytest.raises(ValueError, match="phase"):
+            ClientDropout(prob=0.1, phase="during")
+
+    def test_straggler_validation(self):
+        with pytest.raises(ValueError, match="delay_s"):
+            Straggler(prob=0.1, delay_s=0.0)
+        with pytest.raises(ValueError, match="jitter"):
+            Straggler(prob=0.1, jitter=1.5)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+
+
+class TestRoundWindows:
+    def test_open_ended_by_default(self):
+        inj = ClientDropout(prob=0.5)
+        assert inj.active(0) and inj.active(10_000)
+
+    def test_window_is_half_open(self):
+        inj = GroupFailure(prob=0.5, start_round=3, end_round=6)
+        assert [inj.active(r) for r in range(8)] == [
+            False, False, False, True, True, True, False, False,
+        ]
+
+
+class TestStragglerDelay:
+    def test_delay_within_jitter_band(self):
+        inj = Straggler(prob=1.0, delay_s=2.0, jitter=0.25)
+        rng = np.random.default_rng(0)
+        draws = [inj.draw_delay(rng) for _ in range(200)]
+        assert min(draws) >= 2.0 * 0.75
+        assert max(draws) <= 2.0 * 1.25
+
+    def test_zero_jitter_is_deterministic(self):
+        inj = Straggler(prob=1.0, delay_s=3.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert inj.draw_delay(rng) == pytest.approx(3.0)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_schedule(self):
+        rp = RetryPolicy(max_retries=3, timeout_s=0.5, backoff=2.0)
+        assert [rp.attempt_delay_s(a) for a in range(4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_message_loss_default_retry(self):
+        inj = MessageLoss(prob=0.1)
+        assert inj.retry == RetryPolicy()
+
+
+class TestPicklability:
+    """Injectors cross process-pool boundaries inside a FaultPlan."""
+
+    @pytest.mark.parametrize(
+        "inj",
+        [
+            ClientDropout(prob=0.2, phase="mid"),
+            Straggler(prob=0.3, delay_s=2.0),
+            MessageLoss(prob=0.1, retry=RetryPolicy(max_retries=5)),
+            GroupFailure(prob=0.05, start_round=2, end_round=9),
+        ],
+    )
+    def test_roundtrip(self, inj):
+        assert pickle.loads(pickle.dumps(inj)) == inj

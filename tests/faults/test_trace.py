@@ -1,0 +1,70 @@
+"""FaultTrace: canonical ordering, counts, and replay signatures."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.faults import FaultEvent, FaultTrace
+
+
+def _events():
+    return [
+        FaultEvent("dropout", round=1, group_id=2, client_id=7, k=0, phase="after"),
+        FaultEvent("straggler", round=0, group_id=1, client_id=3, k=1, delay_s=2.5),
+        FaultEvent("message_loss", round=0, group_id=1, client_id=3, k=0,
+                   phase="retried", delay_s=0.5, retries=1),
+        FaultEvent("group_failure", round=0, group_id=4),
+    ]
+
+
+def test_sorted_is_canonical():
+    trace_fwd, trace_rev = FaultTrace(), FaultTrace()
+    evs = _events()
+    trace_fwd.extend(evs)
+    trace_rev.extend(list(reversed(evs)))
+    assert trace_fwd.sorted() == trace_rev.sorted()
+    rounds = [e.round for e in trace_fwd.sorted()]
+    assert rounds == sorted(rounds)
+
+
+def test_signature_order_independent():
+    evs = _events()
+    a, b = FaultTrace(), FaultTrace()
+    a.extend(evs)
+    b.extend(evs[::-1])
+    assert a.signature() == b.signature()
+
+
+def test_signature_distinguishes_traces():
+    a, b = FaultTrace(), FaultTrace()
+    a.extend(_events())
+    b.extend(_events()[:-1])
+    assert a.signature() != b.signature()
+    assert FaultTrace().signature() != a.signature()
+
+
+def test_counts_and_delay():
+    trace = FaultTrace()
+    trace.extend(_events())
+    assert trace.counts() == {
+        "dropout": 1, "straggler": 1, "message_loss": 1, "group_failure": 1,
+    }
+    assert trace.total_delay_s() == 3.0
+    assert len(trace) == 4
+
+
+def test_concurrent_recording():
+    """Thread-backend group rounds record into one shared trace."""
+    trace = FaultTrace()
+
+    def worker(gid: int):
+        for i in range(100):
+            trace.record(FaultEvent("dropout", round=i, group_id=gid, client_id=0))
+
+    threads = [threading.Thread(target=worker, args=(g,)) for g in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(trace) == 800
+    assert trace.counts()["dropout"] == 800

@@ -1,0 +1,96 @@
+"""Property-based tests for CoV-Grouping invariants (Algorithm 2).
+
+No hypothesis dependency: seeded NumPy generators draw random label
+matrices and constraint knobs, and every sampled instance must satisfy the
+algorithm's structural invariants — MinGS, partition correctness, and
+consistency of the reported CoV with a from-scratch recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grouping import CoVGrouping, cov_of_counts, group_clients_per_edge
+
+#: (seed, num_clients, num_classes, min_gs, max_cov) instances — drawn once,
+#: deterministically, so failures are reproducible by seed.
+CASES = []
+_gen = np.random.default_rng(20260805)
+for _ in range(30):
+    CASES.append((
+        int(_gen.integers(2**31)),
+        int(_gen.integers(5, 60)),       # clients
+        int(_gen.integers(2, 12)),       # classes
+        int(_gen.integers(1, 6)),        # MinGS
+        float(_gen.uniform(0.05, 1.5)),  # MaxCoV
+    ))
+
+
+def _random_label_matrix(seed: int, clients: int, classes: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Skewed counts with some all-but-one-class-empty rows, like Dirichlet
+    # partitions produce at small alpha.
+    L = rng.integers(0, 40, size=(clients, classes))
+    mask = rng.random(size=L.shape) < 0.5
+    L = L * mask
+    # Every client owns at least one sample (empty clients are filtered
+    # upstream by the partitioner).
+    empty = L.sum(axis=1) == 0
+    L[empty, rng.integers(0, classes, size=int(empty.sum()))] = 1
+    return L.astype(np.int64)
+
+
+@pytest.mark.parametrize("seed,clients,classes,min_gs,max_cov", CASES)
+def test_grouping_invariants(seed, clients, classes, min_gs, max_cov):
+    L = _random_label_matrix(seed, clients, classes)
+    client_ids = np.arange(clients, dtype=np.int64)
+    groups = CoVGrouping(min_gs, max_cov).group(L, client_ids, rng=seed)
+
+    # -- partition: union covers all clients, no duplicates anywhere.
+    all_members = np.concatenate([g.members for g in groups])
+    assert len(all_members) == clients
+    assert np.array_equal(np.sort(all_members), client_ids)
+
+    # -- MinGS: the repair step guarantees that whenever at least one group
+    #    reaches the floor, every final group does.
+    sizes = [g.size for g in groups]
+    if any(s >= min_gs for s in sizes):
+        assert all(s >= min_gs for s in sizes)
+
+    # -- reported label counts and CoV match a recomputation from L.
+    for g in groups:
+        recomputed_counts = L[g.members].sum(axis=0)
+        assert np.array_equal(g.label_counts, recomputed_counts)
+        assert g.cov == pytest.approx(float(cov_of_counts(recomputed_counts)))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_grouping_is_deterministic_per_seed(seed):
+    L = _random_label_matrix(seed, 30, 8)
+    ids = np.arange(30, dtype=np.int64)
+    a = CoVGrouping(3, 0.5).group(L, ids, rng=seed)
+    b = CoVGrouping(3, 0.5).group(L, ids, rng=seed)
+    assert len(a) == len(b)
+    for ga, gb in zip(a, b):
+        assert np.array_equal(ga.members, gb.members)
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_per_edge_grouping_respects_edges(seed):
+    rng = np.random.default_rng(seed)
+    clients = 40
+    L = _random_label_matrix(seed, clients, 6)
+    perm = rng.permutation(clients)
+    edges = [perm[:15], perm[15:27], perm[27:]]
+    groups = group_clients_per_edge(CoVGrouping(2, 0.8), L, edges, rng=seed)
+
+    # group ids are assigned globally and sequentially.
+    assert [g.group_id for g in groups] == list(range(len(groups)))
+    # every group's members stay inside its edge's client set, and the
+    # pooled partition still covers every client exactly once.
+    edge_sets = [set(e.tolist()) for e in edges]
+    for g in groups:
+        assert set(g.members.tolist()) <= edge_sets[g.edge_id]
+    all_members = np.concatenate([g.members for g in groups])
+    assert np.array_equal(np.sort(all_members), np.arange(clients))

@@ -1,0 +1,85 @@
+"""Statistical check that Eq. (4) aggregation is unbiased.
+
+With S groups sampled per round and weight w_g = n_g / (n · p_g · S), the
+estimator  Σ_{g∈S_t} w_g x_g  has expectation  Σ_g (n_g/n) x_g  — the full
+(biased-free) aggregate — whenever each group's inclusion probability is
+S·p_g. For S=1 the sequential without-replacement draw gives exactly that,
+so the mean over ~2k sampled rounds must land within CLT tolerance
+(4 standard errors) of the target, for every CoV-derived sampling method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grouping import Group
+from repro.sampling import AggregationMode, GroupSampler
+
+METHODS = ["rcov", "srcov", "esrcov"]
+ROUNDS = 2000
+
+
+def _make_groups(num_groups: int = 6, classes: int = 5, seed: int = 3) -> list[Group]:
+    """Groups with deliberately spread CoVs (and hence spread p_g)."""
+    rng = np.random.default_rng(seed)
+    groups = []
+    for gid in range(num_groups):
+        base = rng.integers(20, 120)
+        skew = rng.uniform(0.0, 3.0, size=classes)
+        counts = np.maximum(1, (base * np.exp(skew) / np.exp(skew).max())).astype(np.int64)
+        groups.append(Group(
+            group_id=gid, edge_id=0,
+            members=np.arange(gid * 4, gid * 4 + 4),
+            label_counts=counts,
+        ))
+    return groups
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("method", METHODS)
+def test_unbiased_estimator_within_clt_tolerance(method):
+    groups = _make_groups()
+    n = float(sum(g.n_g for g in groups))
+    # Per-group scalar "models": the estimator must be unbiased for any x.
+    x = np.linspace(-2.0, 3.0, len(groups))
+    target = float(sum((g.n_g / n) * x[g.group_id] for g in groups))
+
+    sampler = GroupSampler(
+        groups, method=method, num_sampled=1,
+        mode=AggregationMode.UNBIASED, rng=12345,
+    )
+    estimates = np.empty(ROUNDS)
+    for t in range(ROUNDS):
+        selected, weights = sampler.sample()
+        estimates[t] = float(sum(
+            w * x[g.group_id] for g, w in zip(selected, weights)
+        ))
+
+    se = estimates.std(ddof=1) / np.sqrt(ROUNDS)
+    assert abs(estimates.mean() - target) < 4.0 * se, (
+        f"{method}: mean {estimates.mean():.6f} vs target {target:.6f} "
+        f"(SE {se:.6f})"
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_unbiased_weights_have_unit_expectation(method):
+    """E[Σ w_g] = 1 is the x ≡ 1 special case — quick smoke version."""
+    groups = _make_groups(seed=9)
+    sampler = GroupSampler(
+        groups, method=method, num_sampled=1,
+        mode=AggregationMode.UNBIASED, rng=99,
+    )
+    totals = np.array([sampler.sample()[1].sum() for _ in range(400)])
+    se = totals.std(ddof=1) / np.sqrt(len(totals))
+    assert abs(totals.mean() - 1.0) < 4.0 * se
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_biased_and_stabilized_weights_sum_to_one(method):
+    groups = _make_groups(seed=5)
+    for mode in (AggregationMode.BIASED, AggregationMode.STABILIZED):
+        sampler = GroupSampler(groups, method=method, num_sampled=3, mode=mode, rng=7)
+        _, weights = sampler.sample()
+        assert weights.sum() == pytest.approx(1.0)

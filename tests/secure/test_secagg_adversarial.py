@@ -1,0 +1,124 @@
+"""Adversarial SecAgg tests: dropout at the protocol's limits.
+
+The Bonawitz threat model this repo simulates: clients drop *after* their
+masked vector reached the server, so every (survivor, dropped) pair leaves
+one uncancelled mask in the ring sum. These tests push the dropout count to
+either side of the Shamir threshold and the codec to its quantization and
+clipping boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.secure import DropoutTolerantAggregator
+from repro.secure.quantize import FixedPointCodec
+
+
+class TestDropoutBelowThreshold:
+    """survivors ≥ t: the aggregate must equal the survivors' plain sum."""
+
+    @pytest.mark.parametrize("num_drops", [1, 2])
+    def test_exact_survivor_sum(self, num_drops):
+        s, dim, t = 5, 40, 3
+        rng = np.random.default_rng(17)
+        vectors = rng.normal(size=(s, dim))
+        dropped = set(range(num_drops))
+        agg = DropoutTolerantAggregator(threshold=t)
+        res = agg.aggregate(vectors, dropped=dropped, round_id=4, rng=0)
+        expected = vectors[sorted(set(range(s)) - dropped)].sum(axis=0)
+        tol = s * agg.codec.roundtrip_error_bound()
+        np.testing.assert_allclose(res.total, expected, atol=tol)
+        # one reconstruction per (dropped, survivor) pair, each consuming
+        # exactly t shares.
+        assert res.reconstructed_pairs == num_drops * (s - num_drops)
+        assert res.shares_used == res.reconstructed_pairs * t
+
+    def test_survivors_exactly_at_threshold(self):
+        """The tightest recoverable case: len(survivors) == t."""
+        s, t = 5, 3
+        vectors = np.arange(s * 8, dtype=np.float64).reshape(s, 8)
+        agg = DropoutTolerantAggregator(threshold=t)
+        res = agg.aggregate(vectors, dropped={0, 1}, round_id=0, rng=1)
+        np.testing.assert_allclose(
+            res.total, vectors[2:].sum(axis=0),
+            atol=s * agg.codec.roundtrip_error_bound(),
+        )
+        assert list(res.survivors) == [2, 3, 4]
+
+    def test_dropped_data_never_leaks_into_sum(self):
+        """A dropped client's (huge) vector must not bias the aggregate."""
+        s, dim = 4, 16
+        vectors = np.ones((s, dim))
+        vectors[0] = 1e5  # adversarially large, then drops
+        agg = DropoutTolerantAggregator(threshold=2)
+        res = agg.aggregate(vectors, dropped={0}, round_id=2, rng=3)
+        np.testing.assert_allclose(
+            res.total, np.full(dim, 3.0),
+            atol=s * agg.codec.roundtrip_error_bound(),
+        )
+
+
+class TestDropoutAtThreshold:
+    """survivors < t: reconstruction is impossible, and the error says so."""
+
+    def test_unrecoverable_raises_clear_error(self):
+        vectors = np.zeros((5, 4))
+        agg = DropoutTolerantAggregator(threshold=3)
+        with pytest.raises(ValueError, match="aggregate unrecoverable"):
+            agg.aggregate(vectors, dropped={0, 1, 2}, round_id=0, rng=0)
+
+    def test_error_reports_survivor_count(self):
+        vectors = np.zeros((4, 4))
+        agg = DropoutTolerantAggregator(threshold=4)
+        with pytest.raises(ValueError, match="only 3 survivors"):
+            agg.aggregate(vectors, dropped={2}, round_id=0, rng=0)
+
+    def test_all_dropped_rejected(self):
+        vectors = np.zeros((3, 4))
+        agg = DropoutTolerantAggregator(threshold=1)
+        with pytest.raises(ValueError, match="unrecoverable"):
+            agg.aggregate(vectors, dropped={0, 1, 2}, round_id=0, rng=0)
+
+
+class TestCodecBoundaries:
+    def test_roundtrip_at_quantization_step(self):
+        """Values sitting exactly on half-steps round half-to-even (np.rint),
+        and the error never exceeds the advertised bound."""
+        codec = FixedPointCodec()
+        step = 1.0 / codec.scale
+        vals = np.array([0.0, step, -step, 0.5 * step, 1.5 * step, -0.5 * step])
+        decoded = codec.decode(codec.encode(vals))
+        assert np.abs(decoded - vals).max() <= codec.roundtrip_error_bound()
+        # half-to-even: +step/2 and -step/2 both land on 0, 1.5·step on 2·step.
+        assert decoded[3] == 0.0
+        assert decoded[5] == 0.0
+        assert decoded[4] == pytest.approx(2 * step)
+
+    def test_roundtrip_at_clip_boundary(self):
+        codec = FixedPointCodec()
+        vals = np.array([codec.clip, -codec.clip])
+        decoded = codec.decode(codec.encode(vals))
+        np.testing.assert_allclose(decoded, vals, atol=codec.roundtrip_error_bound())
+
+    def test_out_of_range_values_clip(self):
+        """Adversarially large updates saturate instead of wrapping the ring."""
+        codec = FixedPointCodec()
+        decoded = codec.decode(codec.encode(np.array([1e12, -1e12])))
+        np.testing.assert_allclose(
+            decoded, [codec.clip, -codec.clip],
+            atol=codec.roundtrip_error_bound(),
+        )
+
+    def test_sum_headroom_at_boundary(self):
+        """Clip-magnitude updates from several clients still decode exactly
+        (the ring leaves headroom for realistic group sizes)."""
+        s = 8
+        vectors = np.full((s, 4), 1e6)
+        agg = DropoutTolerantAggregator(threshold=2)
+        res = agg.aggregate(vectors, dropped={0}, round_id=1, rng=4)
+        np.testing.assert_allclose(
+            res.total, np.full(4, (s - 1) * 1e6),
+            atol=s * agg.codec.roundtrip_error_bound(),
+        )

@@ -1,0 +1,69 @@
+"""Cross-backend determinism: serial, thread, and process executors must
+produce bit-identical models — with and without fault injection.
+
+Fault decisions are pure functions of (plan seed, site), and per-group
+training RNGs are derived ahead of dispatch, so no backend's scheduling can
+leak into the math. The hashes below are the contract.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import GroupFELTrainer, TrainerConfig
+from repro.costs import paper_cost_model
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.nn import make_mlp
+
+BACKENDS = ["serial", "thread", "process"]
+
+# Module-level so the process backend can pickle it.
+model_fn = functools.partial(make_mlp, 192, 10, seed=0)
+
+
+def _run(small_fed, small_edges, backend: str, faults=None):
+    groups = group_clients_per_edge(
+        CoVGrouping(3, 1.0), small_fed.L, small_edges, rng=0
+    )
+    cfg = TrainerConfig(
+        max_rounds=2, group_rounds=2, local_rounds=1, num_sampled=2,
+        seed=7, parallel_backend=backend,
+        use_secure_aggregation=faults is not None, faults=faults,
+    )
+    trainer = GroupFELTrainer(
+        model_fn, small_fed, groups, cfg, paper_cost_model()
+    )
+    trainer.run()
+    digest = hashlib.sha256(
+        np.ascontiguousarray(trainer.global_params).tobytes()
+    ).hexdigest()
+    return digest, trainer.fault_trace.signature()
+
+
+@pytest.mark.slow
+def test_backends_bit_identical_without_faults(small_fed, small_edges):
+    results = {b: _run(small_fed, small_edges, b) for b in BACKENDS}
+    hashes = {digest for digest, _ in results.values()}
+    assert len(hashes) == 1, f"model hashes diverge: {results}"
+
+
+@pytest.mark.slow
+def test_backends_bit_identical_with_faults(small_fed, small_edges):
+    spec = "dropout:0.35@after,straggler:0.5:0.5,loss:0.2,groupfail:0.1"
+    results = {b: _run(small_fed, small_edges, b, faults=spec) for b in BACKENDS}
+    hashes = {digest for digest, _ in results.values()}
+    signatures = {sig for _, sig in results.values()}
+    assert len(hashes) == 1, f"model hashes diverge: {results}"
+    assert len(signatures) == 1, f"fault traces diverge: {results}"
+
+
+def test_serial_and_thread_agree_fast(small_fed, small_edges):
+    """Cheap always-on variant of the golden test (no process spin-up)."""
+    spec = "dropout:0.35@after,loss:0.2"
+    a = _run(small_fed, small_edges, "serial", faults=spec)
+    b = _run(small_fed, small_edges, "thread", faults=spec)
+    assert a == b
