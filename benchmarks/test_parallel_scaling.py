@@ -1,0 +1,141 @@
+"""Parallel-round scaling: persistent pools vs per-round pool teardown.
+
+Measures round throughput and per-round dispatch overhead for the three
+execution backends at several model sizes, and pits the persistent pool
+(workers start once, dataset ships once, per-round dispatch is a slim
+``_GroupTask``) against the pre-change behavior emulated with
+``ParallelMap(..., persistent=False)`` (a fresh pool built and torn down
+every ``map`` call). Results land in ``BENCH_parallel_scaling.json`` at the
+repo root — the repo's first machine-readable benchmark artifact; CI runs
+this file in smoke mode (``REPRO_BENCH_SMOKE=1``) and uploads the JSON.
+
+Hard assertions are structural (pool counts, one-time worker init) plus the
+one timing claim with an enormous margin: on the process backend, reusing
+the pool beats respawning workers every round.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _util import run_once
+from repro.core import GroupFELTrainer, TrainerConfig
+from repro.data import FederatedDataset, SyntheticImage
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.nn import make_mlp
+from repro.parallel import ParallelMap
+from repro.telemetry import Telemetry
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+ROUNDS = 2 if SMOKE else 5
+HIDDEN_SIZES = [(32,)] if SMOKE else [(32,), (128,), (256,)]
+OUT_PATH = Path(__file__).parents[1] / "BENCH_parallel_scaling.json"
+
+# Module-level partials so the process backend can pickle the model factory.
+MODEL_FNS = {
+    hidden: functools.partial(make_mlp, 192, 10, hidden=hidden, seed=3)
+    for hidden in HIDDEN_SIZES
+}
+
+
+def _make_fed():
+    data = SyntheticImage(noise_std=2.0, seed=0)
+    train, test = data.train_test(1_200 if SMOKE else 3_000, 200)
+    return FederatedDataset.from_dataset(
+        train, test, num_clients=16, alpha=0.3,
+        size_low=30, size_high=60, rng=7,
+    )
+
+
+def _run_config(fed, groups, hidden, backend, persistent):
+    """Train ROUNDS rounds on one (backend, model size, pool mode) cell."""
+    tel = Telemetry(label=f"{backend}-{'persistent' if persistent else 'transient'}")
+    cfg = TrainerConfig(group_rounds=1, local_rounds=1, num_sampled=3,
+                        lr=0.08, max_rounds=ROUNDS, seed=0,
+                        parallel_backend=backend)
+    pmap = ParallelMap(backend, max_workers=2, persistent=persistent,
+                       telemetry=tel)
+    trainer = GroupFELTrainer(MODEL_FNS[hidden], fed, groups, cfg,
+                              parallel=pmap)
+    try:
+        t0 = time.perf_counter()
+        trainer.run()
+        total_s = time.perf_counter() - t0
+    finally:
+        trainer.close()
+        pmap.close()
+
+    model_params = MODEL_FNS[hidden]().num_params
+    dispatch = tel.metrics.histogram("pool.dispatch_s")
+    init = tel.metrics.histogram("pool.init_s")
+    return {
+        "backend": backend,
+        "mode": "persistent" if persistent else "transient",
+        "hidden": list(hidden),
+        "model_params": int(model_params),
+        "rounds": ROUNDS,
+        "total_s": total_s,
+        "per_round_s": total_s / ROUNDS,
+        "rounds_per_s": ROUNDS / total_s,
+        "pools_created": pmap.pools_created,
+        "dispatch_s_per_round": (sum(dispatch.values()) / ROUNDS
+                                 if dispatch.count else 0.0),
+        "pool_init_s_total": sum(init.values()) if init.count else 0.0,
+    }
+
+
+def test_persistent_pool_scaling(benchmark):
+    fed = _make_fed()
+    edges = [np.arange(fed.num_clients)]
+    groups = group_clients_per_edge(CoVGrouping(3, 0.5), fed.L, edges, rng=0)
+
+    def sweep():
+        rows = []
+        for hidden in HIDDEN_SIZES:
+            for backend in ("serial", "thread", "process"):
+                rows.append(_run_config(fed, groups, hidden, backend, True))
+            # Pre-change baseline: a fresh process pool per round.
+            rows.append(_run_config(fed, groups, hidden, "process", False))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    print(f"\n{'backend':>8} {'mode':>10} {'params':>8} {'s/round':>9} "
+          f"{'dispatch s/rd':>13} {'pools':>6}")
+    for r in rows:
+        print(f"{r['backend']:>8} {r['mode']:>10} {r['model_params']:>8} "
+              f"{r['per_round_s']:>9.3f} {r['dispatch_s_per_round']:>13.4f} "
+              f"{r['pools_created']:>6}")
+
+    by = {(r["backend"], r["mode"], tuple(r["hidden"])): r for r in rows}
+    for hidden in HIDDEN_SIZES:
+        serial = by[("serial", "persistent", hidden)]
+        thread = by[("thread", "persistent", hidden)]
+        proc = by[("process", "persistent", hidden)]
+        transient = by[("process", "transient", hidden)]
+        # Structural: persistent pools are built once for the whole run,
+        # the old behavior rebuilt one per round.
+        assert serial["pools_created"] == 0
+        assert thread["pools_created"] == 1
+        assert proc["pools_created"] == 1
+        assert transient["pools_created"] == ROUNDS
+        # The one timing claim, with a worker-respawn-per-round margin
+        # behind it: per-round overhead shrank vs the pre-change baseline.
+        assert proc["total_s"] < transient["total_s"]
+        assert proc["pool_init_s_total"] < transient["pool_init_s_total"]
+
+    OUT_PATH.write_text(json.dumps({
+        "benchmark": "parallel_scaling",
+        "smoke": SMOKE,
+        "rounds_per_cell": ROUNDS,
+        "num_sampled_groups": 3,
+        "max_workers": 2,
+        "results": rows,
+    }, indent=1))
+    print(f"wrote {OUT_PATH}")

@@ -94,6 +94,7 @@ def build_method(
     max_cov: float = 0.5,
     rng: np.random.Generator | int | None = None,
     telemetry=None,
+    parallel=None,
 ) -> GroupFELTrainer:
     """Build a ready-to-run trainer for a named method.
 
@@ -109,6 +110,9 @@ def build_method(
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` forwarded to the
         trainer (default: the ambient instance).
+    parallel:
+        Optional shared :class:`repro.parallel.ParallelMap` forwarded to
+        the trainer so several methods reuse one persistent worker pool.
     """
     try:
         spec = METHODS[name]
@@ -128,5 +132,6 @@ def build_method(
         strategy=spec.strategy_factory(),
         label=name,
         telemetry=telemetry,
+        parallel=parallel,
         **kwargs,
     )

@@ -110,6 +110,12 @@ def run_group_round(
     data_weights = n_i / n_g
     gid = group.group_id
 
+    # A caller-supplied optimizer may have been used before; clear any
+    # momentum/step state up front so nothing leaks into this group's first
+    # client update (run_local_rounds also resets per client — this guards
+    # direct call sites and custom strategies that bypass it).
+    optimizer.reset_state()
+
     group_params = global_params.copy()  # Line 8: x^g_{t,0} = x_t
     num_params = group_params.shape[0]
     client_params = np.empty((len(members), num_params))

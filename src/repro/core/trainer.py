@@ -12,6 +12,8 @@ compare accuracy reached within it.
 
 from __future__ import annotations
 
+import copy
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +29,12 @@ from repro.grouping.base import Group, Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
 from repro.nn.model import Model
 from repro.nn.optim import SGD
-from repro.parallel import ParallelMap, available_backends
+from repro.parallel import (
+    ParallelMap,
+    available_backends,
+    get_active as get_active_parallel,
+    worker_state,
+)
 from repro.rng import derive_seed, make_rng
 from repro.sampling.probability import WEIGHT_FUNCTIONS
 from repro.sampling.sampler import AggregationMode, GroupSampler
@@ -84,6 +91,12 @@ class TrainerConfig:
             raise ValueError(f"max_rounds (T) must be >= 1, got {self.max_rounds}")
         if self.lr <= 0:
             raise ValueError(f"lr must be > 0, got {self.lr}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.weight_decay < 0.0:
+            raise ValueError(
+                f"weight_decay must be >= 0, got {self.weight_decay}"
+            )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.eval_every < 1:
@@ -115,20 +128,21 @@ class TrainerConfig:
 
 
 @dataclass
-class _GroupTask:
-    """Everything a process-pool worker needs to run one group round.
+class _WorkerContext:
+    """Round-invariant state shipped to pool workers **once per pool**.
 
-    The thread path closes over the trainer; the process path cannot (the
-    trainer holds unpicklable state — live telemetry, pools), so the group
-    operations are *reconstructed* in the worker from config flags. Custom
-    ``backdoor_detector`` / secure-aggregator instances therefore only ride
-    along on the serial/thread backends.
+    The trainer registers one context per pool lifetime under a unique
+    token (``ParallelMap.register_worker_state``); the process-pool
+    initializer installs it in every worker, so per-round dispatch never
+    re-pickles the federated dataset or the model factory. Group operations
+    are *reconstructed* in the worker from these config flags (the trainer
+    holds unpicklable state — live telemetry, pools), so custom
+    ``backdoor_detector`` / secure-aggregator instances only ride along on
+    the serial/thread backends.
     """
 
     model_fn: object
-    group: Group
-    rng: np.random.Generator
-    global_params: np.ndarray
+    clients: list
     lr: float
     momentum: float
     weight_decay: float
@@ -137,7 +151,6 @@ class _GroupTask:
     batch_size: int
     step_mode: str
     strategy: LocalStrategy
-    round_idx: int
     use_secagg: bool
     use_backdoor: bool
     dropout_threshold: int | None
@@ -148,54 +161,72 @@ class _GroupTask:
     fault_plan: FaultPlan | None = None
 
 
-def _process_group_worker(
-    task: _GroupTask, clients: list
-) -> tuple[np.ndarray, list[FaultEvent]]:
+@dataclass
+class _GroupTask:
+    """The per-round delta a worker needs on top of its registered context:
+    the current global model, which group to run, and the round's RNG."""
+
+    token: str
+    group: Group
+    rng: np.random.Generator
+    global_params: np.ndarray
+    round_idx: int
+
+
+def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent]]:
     """Run one group round in a worker process (module-level: picklable)."""
-    model = task.model_fn()
+    ctx: _WorkerContext = worker_state(task.token)
+    model = ctx.model_fn()
     optimizer = SGD(
-        model, lr=task.lr, momentum=task.momentum, weight_decay=task.weight_decay
+        model, lr=ctx.lr, momentum=ctx.momentum, weight_decay=ctx.weight_decay
     )
     secure_aggregator = (
-        SecureAggregator(payload_factor=task.payload_factor, telemetry=NULL_TELEMETRY)
-        if task.use_secagg
+        SecureAggregator(payload_factor=ctx.payload_factor, telemetry=NULL_TELEMETRY)
+        if ctx.use_secagg
         else None
     )
     backdoor_detector = (
-        BackdoorDetector(telemetry=NULL_TELEMETRY) if task.use_backdoor else None
+        BackdoorDetector(telemetry=NULL_TELEMETRY) if ctx.use_backdoor else None
     )
     dropout_aggregator = None
-    if task.dropout_threshold is not None:
+    if ctx.dropout_threshold is not None:
         from repro.secure.dropout import DropoutTolerantAggregator
 
-        dropout_aggregator = DropoutTolerantAggregator(
-            threshold=task.dropout_threshold
-        )
+        dropout_aggregator = DropoutTolerantAggregator(threshold=ctx.dropout_threshold)
+    # The context persists across this worker's tasks, but per-task
+    # semantics must match a freshly-pickled payload: stateful compressors
+    # (ErrorFeedback residuals) must not accumulate across groups here when
+    # they would not have under per-task shipping.
+    compressor = copy.deepcopy(ctx.compressor) if ctx.compressor is not None else None
     events: list[FaultEvent] = []
     params = run_group_round(
         model,
         optimizer,
         task.group,
-        clients,
+        ctx.clients,
         task.global_params,
-        group_rounds=task.group_rounds,
-        local_rounds=task.local_rounds,
-        batch_size=task.batch_size,
+        group_rounds=ctx.group_rounds,
+        local_rounds=ctx.local_rounds,
+        batch_size=ctx.batch_size,
         rng=task.rng,
-        strategy=task.strategy,
-        step_mode=task.step_mode,
+        strategy=ctx.strategy,
+        step_mode=ctx.step_mode,
         secure_aggregator=secure_aggregator,
         backdoor_detector=backdoor_detector,
         round_id=task.round_idx,
-        compressor=task.compressor,
-        dropout_prob=task.dropout_prob,
+        compressor=compressor,
+        dropout_prob=ctx.dropout_prob,
         dropout_aggregator=dropout_aggregator,
-        update_transforms=task.attackers or None,
+        update_transforms=ctx.attackers or None,
         telemetry=NULL_TELEMETRY,
-        fault_plan=task.fault_plan,
+        fault_plan=ctx.fault_plan,
         fault_events=events,
     )
     return params, events
+
+
+#: unique worker-state registration tokens (one per trainer instance)
+_TOKEN_COUNTER = itertools.count()
 
 
 class GroupFELTrainer:
@@ -228,6 +259,15 @@ class GroupFELTrainer:
         secagg / backdoor / aggregate``) plus cost/sampling/aggregation
         metrics — and, under a fault plan, the ``faults.*`` /
         ``secagg.reconstructions`` counters.
+    parallel:
+        Optional shared :class:`repro.parallel.ParallelMap` to run group
+        rounds on (it stays open when this trainer closes). Defaults to
+        the ambient instance (``repro.parallel.activated``), else a fresh
+        persistent pool built from ``config.parallel_backend`` that this
+        trainer owns and shuts down in :meth:`close`. On the ``process``
+        backend the federated dataset and model factory are registered as
+        one-time worker state, so per-round dispatch ships only the global
+        parameters, the group, and the round RNG.
 
     Fault injection
     ---------------
@@ -257,6 +297,7 @@ class GroupFELTrainer:
         attackers: dict | None = None,
         backdoor_detector: BackdoorDetector | None = None,
         telemetry: Telemetry | None = None,
+        parallel: ParallelMap | None = None,
     ):
         #: resolved once at construction: the explicit instance, the
         #: ambient one (``repro.telemetry.activated``), or the no-op null.
@@ -334,7 +375,6 @@ class GroupFELTrainer:
             from repro.secure.dropout import DropoutTolerantAggregator
 
             self.dropout_aggregator = DropoutTolerantAggregator(threshold=2)
-        self._pmap = ParallelMap(self.config.parallel_backend)
         self.strategy.init_run(self.model.num_params, fed.num_clients)
         self.callbacks = list(callbacks or [])
         #: optional update compressor / ErrorFeedback (repro.compression)
@@ -352,7 +392,94 @@ class GroupFELTrainer:
         self.sampled_history: list[list[Group]] = []
         self.round_idx = 0
 
+        # ---------------------------------------------------- parallel pool
+        # Explicit pool > ambient pool > own persistent pool. Shared pools
+        # are never closed here; owned ones are (see close()).
+        ambient_pmap = get_active_parallel()
+        if parallel is not None:
+            self._pmap = parallel
+            self._owns_pool = False
+        elif ambient_pmap is not None:
+            self._pmap = ambient_pmap
+            self._owns_pool = False
+        else:
+            self._pmap = ParallelMap(
+                self.config.parallel_backend, telemetry=self.telemetry
+            )
+            self._owns_pool = True
+        self._closed = False
+        #: worker-state registration token; unique per trainer instance
+        self._worker_token = f"trainer/{label}/{next(_TOKEN_COUNTER)}"
+        if self._pmap.backend == "process":
+            # One-time shipment of the round-invariant heavy state: the
+            # dataset and model factory cross into workers once per pool,
+            # not once per task.
+            self._pmap.register_worker_state(
+                self._worker_token, self._worker_context()
+            )
+
     # ------------------------------------------------------------------ plumbing
+    def _worker_context(self) -> _WorkerContext:
+        """The round-invariant payload process workers receive once."""
+        cfg = self.config
+        return _WorkerContext(
+            model_fn=self.model_fn,
+            clients=self.fed.clients,
+            lr=cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            group_rounds=cfg.group_rounds,
+            local_rounds=cfg.local_rounds,
+            batch_size=cfg.batch_size,
+            step_mode=cfg.step_mode,
+            strategy=self.strategy,
+            use_secagg=cfg.use_secure_aggregation,
+            use_backdoor=cfg.use_backdoor_defense,
+            dropout_threshold=(
+                self.dropout_aggregator.threshold
+                if self.dropout_aggregator is not None
+                else None
+            ),
+            dropout_prob=cfg.client_dropout_prob,
+            payload_factor=self.strategy.payload_factor,
+            compressor=self.compressor,
+            attackers=self.attackers,
+            fault_plan=self.fault_plan,
+        )
+
+    def _fresh_model_and_optimizer(self) -> tuple[Model, SGD]:
+        """A fresh model+optimizer pair for one group round.
+
+        Every backend builds a new pair per group so no optimizer state
+        (SGD momentum buffers, step counters) can leak between groups or
+        across rounds — the serial path used to reuse one shared pair,
+        silently diverging from the pooled backends.
+        """
+        model = self.model_fn()
+        optimizer = SGD(
+            model,
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        return model, optimizer
+
+    def close(self) -> None:
+        """Release the parallel pool (shut down if owned). Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_pool:
+            self._pmap.close()
+        else:
+            self._pmap.unregister_worker_state(self._worker_token)
+
+    def __enter__(self) -> "GroupFELTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _effective_cost_model(self) -> CostModel:
         """Fold the strategy's compute/payload factors into the cost model."""
         cm = self.cost_model
@@ -476,33 +603,13 @@ class GroupFELTrainer:
         return params, events
 
     def _group_task(self, group: Group, rng: np.random.Generator) -> _GroupTask:
-        cfg = self.config
+        """The small per-round dispatch delta (see :class:`_WorkerContext`)."""
         return _GroupTask(
-            model_fn=self.model_fn,
+            token=self._worker_token,
             group=group,
             rng=rng,
             global_params=self.global_params,
-            lr=cfg.lr,
-            momentum=cfg.momentum,
-            weight_decay=cfg.weight_decay,
-            group_rounds=cfg.group_rounds,
-            local_rounds=cfg.local_rounds,
-            batch_size=cfg.batch_size,
-            step_mode=cfg.step_mode,
-            strategy=self.strategy,
             round_idx=self.round_idx,
-            use_secagg=cfg.use_secure_aggregation,
-            use_backdoor=cfg.use_backdoor_defense,
-            dropout_threshold=(
-                self.dropout_aggregator.threshold
-                if self.dropout_aggregator is not None
-                else None
-            ),
-            dropout_prob=cfg.client_dropout_prob,
-            payload_factor=self.strategy.payload_factor,
-            compressor=self.compressor,
-            attackers=self.attackers,
-            fault_plan=self.fault_plan,
         )
 
     def train_round(self) -> float:
@@ -525,35 +632,37 @@ class GroupFELTrainer:
 
             # SCAFFOLD mutates shared control-variate state per client; run
             # its groups serially regardless of the configured backend.
+            # Single-group rounds also run serially: pool dispatch buys
+            # nothing, and the process path would route group ops through
+            # NULL_TELEMETRY, losing their spans and counters.
             stateful = self.strategy.name == "scaffold"
-            if self._pmap.backend == "serial" or stateful:
-                results = [
-                    self._run_one_group(g, r, self.model, self.optimizer)
-                    for g, r in zip(selected, group_rngs)
-                ]
+            if (
+                self._pmap.backend == "serial"
+                or stateful
+                or len(selected) <= 1
+            ):
+                results = []
+                for g, r in zip(selected, group_rngs):
+                    model, opt = self._fresh_model_and_optimizer()
+                    results.append(self._run_one_group(g, r, model, opt))
             elif self._pmap.backend == "thread":
                 def work(args):
                     group, grng = args
-                    model = self.model_fn()
-                    opt = SGD(
-                        model,
-                        lr=self.config.lr,
-                        momentum=self.config.momentum,
-                        weight_decay=self.config.weight_decay,
-                    )
+                    model, opt = self._fresh_model_and_optimizer()
                     return self._run_one_group(
                         group, grng, model, opt, parent_span_id=round_span_id
                     )
 
                 results = self._pmap.map(work, list(zip(selected, group_rngs)))
             else:
-                # Process pool: ship self-contained picklable tasks (group
-                # ops are rebuilt in the worker; spans stay parent-side).
+                # Process pool: the dataset/model factory already live in
+                # the workers (one-time registration); ship only the small
+                # per-round deltas (group ops are rebuilt in the worker;
+                # spans stay parent-side).
                 tasks = [
-                    (self._group_task(g, r), self.fed.clients)
-                    for g, r in zip(selected, group_rngs)
+                    self._group_task(g, r) for g, r in zip(selected, group_rngs)
                 ]
-                results = self._pmap.starmap(_process_group_worker, tasks)
+                results = self._pmap.map(_process_group_worker, tasks)
 
             group_models = [params for params, _ in results]
             for _, events in results:
@@ -604,12 +713,40 @@ class GroupFELTrainer:
         self.model.set_params(self.global_params)
         return self.model.evaluate(self.fed.test.x, self.fed.test.y)
 
+    def _record_checkpoint(self, budget: float | None, final: bool = False) -> None:
+        """Evaluate and record — unless the point would land past the budget.
+
+        The paper's evaluations compare accuracy reached *within* a fixed
+        budget (§7.2), so the accuracy-vs-cost curve must never report a
+        point whose cumulative cost exceeds it. The round that crosses the
+        budget still trains (its cost stays in the ledger and is surfaced
+        via ``history.extra["budget_overshoot"]``), but its checkpoint is
+        not recorded. Degenerate case: if the very first round overshoots,
+        the final checkpoint is recorded with the cost clamped to the
+        budget (flagged as ``budget_clamped``) so the curve is non-empty.
+        """
+        cost = self.ledger.total
+        if budget is not None and cost > budget:
+            if not (final and not self.history.rounds):
+                return
+            cost = budget
+            self.history.extra["budget_clamped"] = True
+        loss, acc = self.evaluate()
+        self.history.record(self.round_idx, cost, acc, loss)
+
     def run(
         self,
         max_rounds: int | None = None,
         cost_budget: float | None = None,
     ) -> TrainingHistory:
-        """Train until the round limit, cost budget, or a callback stops."""
+        """Train until the round limit, cost budget, or a callback stops.
+
+        When a cost budget is active and the final round overshoots it,
+        ``history.extra`` carries ``budget_exhausted`` (True) and
+        ``budget_overshoot`` (how far past the budget the ledger ran); the
+        overshooting checkpoint itself is not recorded, so accuracy-vs-cost
+        curves end within the budget.
+        """
         max_rounds = max_rounds if max_rounds is not None else self.config.max_rounds
         budget = cost_budget if cost_budget is not None else self.config.cost_budget
         for cb in self.callbacks:
@@ -623,14 +760,17 @@ class GroupFELTrainer:
                 self.round_idx % self.config.eval_every == 0
                 or self.round_idx >= max_rounds
             ):
-                loss, acc = self.evaluate()
-                self.history.record(self.round_idx, self.ledger.total, acc, loss)
+                self._record_checkpoint(budget)
             for cb in self.callbacks:
                 if cb.on_round_end(self, self.round_idx):
                     stopped = True
+        if budget is not None and self.ledger.total >= budget:
+            self.history.extra["budget_exhausted"] = True
+            self.history.extra["budget_overshoot"] = max(
+                0.0, self.ledger.total - budget
+            )
         if not self.history.rounds or self.history.rounds[-1] != self.round_idx:
-            loss, acc = self.evaluate()
-            self.history.record(self.round_idx, self.ledger.total, acc, loss)
+            self._record_checkpoint(budget, final=True)
         for cb in self.callbacks:
             cb.on_train_end(self)
         return self.history

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig7 --telemetry trace.jsonl
     python -m repro.experiments fig9 --faults dropout:0.2,straggler:0.1:2.0
+    python -m repro.experiments fig9 --parallel process:4
     python -m repro.experiments list
 """
 
@@ -17,6 +18,7 @@ import sys
 from contextlib import ExitStack
 
 from repro.faults import FaultPlan, plan_activated
+from repro.parallel import ParallelMap, activated as parallel_activated
 from repro.telemetry import Telemetry, activated
 
 from repro.experiments.figures import (
@@ -76,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
         "'dropout:0.2,straggler:0.1:2.0,loss:0.1,groupfail:0.05' "
         "(see repro.faults.FaultPlan.from_spec)",
     )
+    parser.add_argument(
+        "--parallel",
+        metavar="BACKEND[:N]",
+        default=None,
+        help="run group rounds on one shared persistent worker pool: "
+        "'serial', 'thread', 'process', optionally with a worker count "
+        "(e.g. 'process:4'). Every trainer the target constructs reuses "
+        "the pool; it is closed when the run finishes.",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -88,6 +99,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown target {args.target!r}; run 'list' to see options",
               file=sys.stderr)
         return 2
+
+    pmap = None
+    if args.parallel:
+        # Fail on a malformed backend spec *before* the (possibly long) run.
+        backend, _, workers = args.parallel.partition(":")
+        try:
+            max_workers = int(workers) if workers else None
+        except ValueError:
+            print(f"bad --parallel spec {args.parallel!r}: worker count "
+                  "must be an integer", file=sys.stderr)
+            return 2
+        try:
+            pmap = ParallelMap(backend, max_workers=max_workers)
+        except ValueError as exc:
+            print(f"bad --parallel spec: {exc}", file=sys.stderr)
+            return 2
 
     fault_plan = None
     if args.faults:
@@ -115,13 +142,18 @@ def main(argv: list[str] | None = None) -> int:
             telemetry.meta["faults"] = args.faults
 
     # Ambient activation: every trainer the generator constructs picks up
-    # the telemetry instance / fault plan without the generators knowing
-    # about either.
+    # the telemetry instance / fault plan / shared worker pool without the
+    # generators knowing about any of them.
     with ExitStack() as stack:
         if telemetry is not None:
             stack.enter_context(activated(telemetry))
         if fault_plan is not None:
             stack.enter_context(plan_activated(fault_plan))
+        if pmap is not None:
+            if telemetry is not None:
+                pmap.telemetry = telemetry
+            stack.enter_context(pmap)  # closes the pool on the way out
+            stack.enter_context(parallel_activated(pmap))
         result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
     if telemetry is not None:
         telemetry.to_jsonl(args.telemetry)

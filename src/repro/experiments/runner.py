@@ -10,6 +10,7 @@ from repro.core.trainer import GroupFELTrainer
 from repro.experiments.configs import Workload
 from repro.grouping import Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
+from repro.parallel import ParallelMap, get_active as get_active_parallel
 from repro.rng import derive_seed
 
 __all__ = ["run_method", "run_methods", "run_combo"]
@@ -24,6 +25,7 @@ def run_method(
     max_cov: float | None = None,
     telemetry=None,
     faults=None,
+    parallel: ParallelMap | None = None,
 ) -> TrainingHistory:
     """Run one named method (see ``repro.baselines.METHODS``) to completion.
 
@@ -32,7 +34,11 @@ def run_method(
     ``repro.telemetry.activated``), which defaults to a no-op. ``faults`` (a
     :class:`repro.faults.FaultPlan` or spec string) overrides the workload
     config's plan; omit it to use the config's, falling back to the ambient
-    plan (see ``repro.faults.plan_activated``).
+    plan (see ``repro.faults.plan_activated``). ``parallel`` (a
+    :class:`repro.parallel.ParallelMap`) shares one persistent worker pool
+    across calls; omit it to let the trainer build (and close) its own.
+    The trainer is always closed before returning, so pooled backends never
+    leak worker processes.
     """
     s = workload.scale
     cfg = workload.trainer_config
@@ -49,8 +55,12 @@ def run_method(
         max_cov=max_cov if max_cov is not None else s.max_cov,
         rng=derive_seed(workload.seed, "grouping", name),
         telemetry=telemetry,
+        parallel=parallel,
     )
-    return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
+    try:
+        return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
+    finally:
+        trainer.close()
 
 
 def run_methods(
@@ -60,19 +70,38 @@ def run_methods(
     cost_budget: float | None = None,
     telemetry=None,
     faults=None,
+    parallel: ParallelMap | None = None,
 ) -> dict[str, TrainingHistory]:
-    """Run several methods over the same workload (same data, same budget)."""
-    return {
-        name: run_method(
-            name,
-            workload,
-            max_rounds=max_rounds,
-            cost_budget=cost_budget,
-            telemetry=telemetry,
-            faults=faults,
-        )
-        for name in names
-    }
+    """Run several methods over the same workload (same data, same budget).
+
+    On a pooled backend (``workload.trainer_config.parallel_backend`` of
+    ``thread``/``process``) one shared :class:`ParallelMap` is built for the
+    whole sweep — workers start once, not once per method — and closed at
+    the end. Pass ``parallel`` to reuse an even longer-lived pool.
+    """
+    owns_pool = (
+        parallel is None
+        and get_active_parallel() is None
+        and workload.trainer_config.parallel_backend != "serial"
+    )
+    if owns_pool:
+        parallel = ParallelMap(workload.trainer_config.parallel_backend)
+    try:
+        return {
+            name: run_method(
+                name,
+                workload,
+                max_rounds=max_rounds,
+                cost_budget=cost_budget,
+                telemetry=telemetry,
+                faults=faults,
+                parallel=parallel,
+            )
+            for name in names
+        }
+    finally:
+        if owns_pool:
+            parallel.close()
 
 
 def run_combo(
@@ -84,6 +113,7 @@ def run_combo(
     cost_budget: float | None = None,
     telemetry=None,
     faults=None,
+    parallel: ParallelMap | None = None,
 ) -> TrainingHistory:
     """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
     groups = group_clients_per_edge(
@@ -104,5 +134,9 @@ def run_combo(
         strategy=PlainSGDStrategy(),
         label=label,
         telemetry=telemetry,
+        parallel=parallel,
     )
-    return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
+    try:
+        return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
+    finally:
+        trainer.close()

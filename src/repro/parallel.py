@@ -13,18 +13,58 @@ so it maps cleanly onto an executor. Three backends are provided:
 
 Results are always returned **in submission order** regardless of backend so
 that aggregation order — and therefore floating-point results — is stable.
+
+Pool lifetime
+-------------
+A :class:`ParallelMap` is a **long-lived** object: the executor is created
+lazily on the first pooled :meth:`map` call and then reused by every
+subsequent call until :meth:`close` (or the ``with`` block) shuts it down.
+Per-round pool startup — historically the dominant dispatch cost — is paid
+once per pool lifetime. Constructing with ``persistent=False`` restores the
+old build-map-teardown behaviour; the scaling benchmark uses it as the
+pre-change baseline.
+
+Worker state
+------------
+Large, round-invariant payloads (the federated dataset, the model factory)
+should not ride on every task. :meth:`ParallelMap.register_worker_state`
+ships a payload to every worker **once per pool lifetime** via the process
+pool's initializer; tasks then carry only a registration token and call
+:func:`worker_state` inside the worker to look the payload up. The parent
+process keeps a mirror of the registry, so the same lookup works on the
+serial and thread backends (shared memory) without special-casing.
+
+Telemetry
+---------
+When a :class:`repro.telemetry.Telemetry` is attached, pooled calls record
+``pool.init_s`` (executor construction, once per pool), ``pool.dispatch_s``
+(per-call task submission time — the serialization/enqueue overhead, not
+the compute), ``pool.tasks`` and ``pool.map_calls`` counters.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["ParallelMap", "available_backends"]
+__all__ = [
+    "ParallelMap",
+    "available_backends",
+    "worker_state",
+    "worker_init_count",
+    "activated",
+    "get_active",
+    "set_active",
+]
 
 _BACKENDS = ("serial", "thread", "process")
 
@@ -32,6 +72,49 @@ _BACKENDS = ("serial", "thread", "process")
 def available_backends() -> tuple[str, ...]:
     """Names of the supported execution backends."""
     return _BACKENDS
+
+
+# --------------------------------------------------------------------------
+# Worker-side state registry.
+#
+# In a worker process this dict is populated exactly once, by
+# ``_pool_initializer`` when the pool spawns the worker. In the parent
+# process ``ParallelMap.register_worker_state`` keeps a mirror so lookups
+# also resolve on the serial/thread backends.
+_WORKER_STATE: dict[str, Any] = {}
+
+#: times ``_pool_initializer`` ran in *this* process — 0 in the parent,
+#: and exactly 1 in a healthy pool worker (the one-time-init contract).
+_WORKER_INIT_COUNT = 0
+
+
+def _pool_initializer(state: dict[str, Any]) -> None:
+    """Install registered worker state; runs once per worker per pool."""
+    global _WORKER_INIT_COUNT
+    _WORKER_INIT_COUNT += 1
+    _WORKER_STATE.update(state)
+
+
+def worker_state(token: str) -> Any:
+    """Look up a payload registered under ``token`` (worker or parent side)."""
+    try:
+        return _WORKER_STATE[token]
+    except KeyError:
+        raise RuntimeError(
+            f"no worker state registered under {token!r}; call "
+            "ParallelMap.register_worker_state(token, payload) before "
+            "dispatching tasks that reference it"
+        ) from None
+
+
+def worker_init_count(_: Any = None) -> int:
+    """Initializer invocations in the calling process (test/debug probe).
+
+    Mapping this over a process pool returns one count per executed task;
+    every value must be 1 when workers are initialized exactly once. The
+    ignored argument lets it ride through ``ParallelMap.map`` unchanged.
+    """
+    return _WORKER_INIT_COUNT
 
 
 class _StarCall:
@@ -52,7 +135,7 @@ class _StarCall:
 
 
 class ParallelMap:
-    """Ordered ``map`` over an execution backend.
+    """Ordered ``map`` over a lazily-created, reusable execution backend.
 
     Parameters
     ----------
@@ -62,9 +145,24 @@ class ParallelMap:
         Worker count for pooled backends. Defaults to ``os.cpu_count()``
         capped at 8 (group counts per round are small; more workers only add
         startup cost — profile before raising, per the optimization guide).
+    persistent:
+        When True (default), the executor is created on first use and
+        reused across ``map`` calls until :meth:`close`. When False, a
+        fresh executor is built and torn down around every pooled call —
+        the pre-persistent-pool behaviour, kept as a benchmark baseline.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; defaults to the
+        ambient instance. Records the ``pool.*`` counters described in the
+        module docstring. Assignable after construction.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        persistent: bool = True,
+        telemetry: Telemetry | None = None,
+    ):
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         self.backend = backend
@@ -73,20 +171,169 @@ class ParallelMap:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.persistent = bool(persistent)
+        self.telemetry = resolve_telemetry(telemetry)
+        self._executor: Executor | None = None
+        self._state: dict[str, Any] = {}
+        self._closed = False
+        self._lock = threading.Lock()
+        #: executors built over this object's lifetime (1 after any number
+        #: of persistent ``map`` calls; grows per call when persistent=False)
+        self.pools_created = 0
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every item, returning results in input order."""
-        if self.backend == "serial" or len(items) <= 1:
-            return [fn(item) for item in items]
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def has_live_pool(self) -> bool:
+        """True while a (persistent) executor is alive."""
+        return self._executor is not None
+
+    def _new_executor(self) -> Executor:
+        t0 = time.perf_counter()
         if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(fn, items))
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items))
+            ex: Executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-pmap"
+            )
+        else:
+            # Worker state ships once, through the initializer, to every
+            # worker this pool ever spawns. (Executor construction is cheap;
+            # actual process spawn cost lands in the first dispatch.)
+            ex = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_pool_initializer,
+                initargs=(dict(self._state),),
+            )
+        self.pools_created += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.observe("pool.init_s", time.perf_counter() - t0)
+            tel.inc("pool.created")
+        return ex
+
+    def _ensure_executor(self) -> Executor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ParallelMap is closed")
+            if self._executor is None:
+                self._executor = self._new_executor()
+            return self._executor
+
+    def register_worker_state(self, token: str, payload: Any) -> None:
+        """Register a one-time payload shipped to every worker of this pool.
+
+        The payload is also mirrored into the parent-side registry so
+        :func:`worker_state` resolves on the serial/thread backends. If a
+        process pool is already live, it is shut down and lazily rebuilt on
+        the next ``map`` so the new state reaches fresh workers — register
+        *before* the first dispatch to keep the one-startup guarantee.
+        """
+        if self._closed:
+            raise RuntimeError("ParallelMap is closed")
+        self._state[token] = payload
+        _WORKER_STATE[token] = payload
+        if self.backend == "process" and self._executor is not None:
+            with self._lock:
+                ex, self._executor = self._executor, None
+            ex.shutdown(wait=True)
+
+    def unregister_worker_state(self, token: str) -> None:
+        """Drop a registered payload (live workers keep a harmless copy)."""
+        self._state.pop(token, None)
+        _WORKER_STATE.pop(token, None)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the executor down and unregister state. Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            ex, self._executor = self._executor, None
+        if ex is not None:
+            ex.shutdown(wait=wait)
+        for token in list(self._state):
+            _WORKER_STATE.pop(token, None)
+        self._state.clear()
+
+    def __enter__(self) -> "ParallelMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------- mapping
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order.
+
+        Pooled backends always dispatch to the pool — there is no silent
+        in-process fallback for short item lists, so worker-side effects
+        (telemetry routing, worker-state lookups) are the same for one task
+        as for many. Callers that want live-telemetry semantics for tiny
+        rounds should route them through their own serial path instead.
+        """
+        if self._closed:
+            raise RuntimeError("ParallelMap is closed")
+        items = list(items)
+        if self.backend == "serial" or not items:
+            return [fn(item) for item in items]
+        if self.persistent:
+            return self._dispatch(self._ensure_executor(), fn, items)
+        ex = self._new_executor()
+        try:
+            return self._dispatch(ex, fn, items)
+        finally:
+            ex.shutdown(wait=True)
+
+    def _dispatch(self, ex: Executor, fn, items: list) -> list:
+        tel = self.telemetry
+        t0 = time.perf_counter()
+        futures = [ex.submit(fn, item) for item in items]
+        if tel.enabled:
+            tel.observe("pool.dispatch_s", time.perf_counter() - t0)
+            tel.inc("pool.tasks", float(len(items)))
+            tel.inc("pool.map_calls")
+        return [f.result() for f in futures]
 
     def starmap(self, fn: Callable[..., R], arg_tuples: Sequence[tuple]) -> list[R]:
         """Like :meth:`map` but unpacks each item as positional arguments."""
         return self.map(_StarCall(fn), arg_tuples)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ParallelMap(backend={self.backend!r}, max_workers={self.max_workers})"
+        state = "closed" if self._closed else ("live" if self.has_live_pool else "idle")
+        return (
+            f"ParallelMap(backend={self.backend!r}, max_workers={self.max_workers}, "
+            f"persistent={self.persistent}, {state})"
+        )
+
+
+# --------------------------------------------------------------------------
+# Ambient instance, mirroring repro.telemetry.activated: the CLI installs
+# one shared pool so every trainer a figure generator constructs reuses it.
+_active: ParallelMap | None = None
+
+
+def get_active() -> ParallelMap | None:
+    """The ambient shared pool, or None when none is installed."""
+    return _active
+
+
+def set_active(pmap: ParallelMap | None) -> ParallelMap | None:
+    """Install ``pmap`` ambiently; returns the previous instance."""
+    global _active
+    previous = _active
+    _active = pmap
+    return previous
+
+
+@contextmanager
+def activated(pmap: ParallelMap):
+    """Install ``pmap`` ambiently for the duration of the block."""
+    previous = set_active(pmap)
+    try:
+        yield pmap
+    finally:
+        set_active(previous)

@@ -53,6 +53,48 @@ class TestTrainerBasics:
         assert history.rounds[-1] < 6
         assert history.total_cost <= est * 4  # at most one round overshoot
 
+    def test_budget_curve_never_reports_point_past_budget(
+        self, small_fed, small_edges
+    ):
+        """Accuracy-vs-cost curves must not contain a checkpoint whose cost
+        exceeds the budget: the round that crosses it still trains, but its
+        point is withheld and the overshoot is reported in history.extra."""
+        cfg = TrainerConfig(group_rounds=2, local_rounds=1, num_sampled=2,
+                            lr=0.08, max_rounds=6, eval_every=1, seed=0)
+        trainer = make_trainer(small_fed, small_edges, cfg)
+        est = trainer.ledger.estimate_round_cost(trainer.groups[:2], 2, 1)
+        budget = est * 2.5
+        history = trainer.run(cost_budget=budget)
+        assert history.costs, "curve must not be empty"
+        assert all(c <= budget for c in history.costs)
+        assert history.extra["budget_exhausted"] is True
+        assert history.extra["budget_overshoot"] >= 0.0
+        # The ledger saw the full (overshooting) spend even though the
+        # curve stops at the budget line.
+        assert trainer.ledger.total >= budget
+        assert history.extra["budget_overshoot"] == pytest.approx(
+            trainer.ledger.total - budget
+        )
+
+    def test_budget_not_exhausted_leaves_no_flag(self, small_fed, small_edges):
+        history = make_trainer(small_fed, small_edges).run()
+        assert "budget_exhausted" not in history.extra
+
+    def test_budget_smaller_than_one_round_still_yields_a_point(
+        self, small_fed, small_edges
+    ):
+        """Degenerate case: the very first round overshoots. The curve keeps
+        one clamped point instead of coming back empty."""
+        cfg = TrainerConfig(group_rounds=2, local_rounds=1, num_sampled=2,
+                            lr=0.08, max_rounds=6, eval_every=1, seed=0)
+        trainer = make_trainer(small_fed, small_edges, cfg)
+        budget = 1e-6
+        history = trainer.run(cost_budget=budget)
+        assert history.rounds == [1]
+        assert history.costs == [budget]
+        assert history.extra["budget_clamped"] is True
+        assert history.extra["budget_exhausted"] is True
+
     def test_deterministic_given_seed(self, small_fed, small_edges):
         h1 = make_trainer(small_fed, small_edges).run()
         h2 = make_trainer(small_fed, small_edges).run()
@@ -223,3 +265,18 @@ class TestConfigValidation:
             TrainerConfig(client_dropout_prob=1.0)
         with pytest.raises(ValueError, match="client_dropout_prob"):
             TrainerConfig(client_dropout_prob=-0.1)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError, match="momentum"):
+            TrainerConfig(momentum=-0.1)
+        with pytest.raises(ValueError, match="momentum"):
+            TrainerConfig(momentum=1.0)
+
+    def test_invalid_weight_decay(self):
+        with pytest.raises(ValueError, match="weight_decay"):
+            TrainerConfig(weight_decay=-1e-4)
+
+    def test_valid_momentum_and_weight_decay_accepted(self):
+        cfg = TrainerConfig(momentum=0.9, weight_decay=1e-4)
+        assert cfg.momentum == 0.9
+        assert cfg.weight_decay == 1e-4

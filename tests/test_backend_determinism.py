@@ -31,13 +31,21 @@ def _run(small_fed, small_edges, backend: str, faults=None):
     )
     cfg = TrainerConfig(
         max_rounds=2, group_rounds=2, local_rounds=1, num_sampled=2,
+        # momentum > 0 is part of the golden config: the serial path used
+        # to reuse one shared SGD across groups while pooled backends built
+        # fresh per-group optimizers, so only a momentum-bearing run can
+        # catch state leaking between groups.
+        momentum=0.9, weight_decay=1e-4,
         seed=7, parallel_backend=backend,
         use_secure_aggregation=faults is not None, faults=faults,
     )
     trainer = GroupFELTrainer(
         model_fn, small_fed, groups, cfg, paper_cost_model()
     )
-    trainer.run()
+    try:
+        trainer.run()
+    finally:
+        trainer.close()
     digest = hashlib.sha256(
         np.ascontiguousarray(trainer.global_params).tobytes()
     ).hexdigest()
