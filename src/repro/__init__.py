@@ -29,6 +29,14 @@ from repro.attacks import (
     poison_federation,
 )
 from repro.baselines import METHODS, FedCLARTrainer, build_method
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointPolicy,
+    CheckpointVersionError,
+    CorruptCheckpointError,
+    checkpointing_activated,
+)
 from repro.core import (
     Callback,
     Checkpointer,
@@ -175,6 +183,13 @@ __all__ = [
     "METHODS",
     "build_method",
     "FedCLARTrainer",
+    # checkpoint
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "CheckpointVersionError",
+    "checkpointing_activated",
     # faults
     "FaultPlan",
     "FaultEvent",

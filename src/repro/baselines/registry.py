@@ -95,6 +95,7 @@ def build_method(
     rng: np.random.Generator | int | None = None,
     telemetry=None,
     parallel=None,
+    checkpoint_dir=None,
 ) -> GroupFELTrainer:
     """Build a ready-to-run trainer for a named method.
 
@@ -113,6 +114,10 @@ def build_method(
     parallel:
         Optional shared :class:`repro.parallel.ParallelMap` forwarded to
         the trainer so several methods reuse one persistent worker pool.
+    checkpoint_dir:
+        Optional crash-safe checkpoint directory forwarded to the trainer
+        (see ``repro.checkpoint``); omit to fall back to the ambient
+        :class:`repro.checkpoint.CheckpointPolicy`, if any.
     """
     try:
         spec = METHODS[name]
@@ -133,5 +138,6 @@ def build_method(
         label=name,
         telemetry=telemetry,
         parallel=parallel,
+        checkpoint_dir=checkpoint_dir,
         **kwargs,
     )

@@ -1,0 +1,163 @@
+"""Versioned, crash-safe checkpoint container.
+
+One checkpoint is a single file::
+
+    magic (8 bytes) | header length (4 bytes, big-endian) | header JSON | payload
+
+The header carries the format version, the payload's length and SHA-256,
+and caller metadata (label, round, config fingerprint); the payload is a
+pickled state dict. Loading verifies magic, version, length, and checksum,
+so a truncated or bit-flipped file fails loudly with
+:class:`CorruptCheckpointError` instead of resuming garbage.
+
+Atomicity
+---------
+:func:`write_checkpoint` writes to a temporary file in the destination
+directory, fsyncs it, and ``os.replace``-renames it over the target. A
+crash at any instant leaves either the previous complete checkpoint or
+none — never a partial file under the checkpoint's name.
+
+Checkpoints are pickles: load them only from paths you trust (the same
+trust level as the code and data of the run itself).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+from typing import Any
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "CheckpointVersionError",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_header",
+]
+
+CHECKPOINT_MAGIC = b"REPROCKP"
+CHECKPOINT_VERSION = 1
+
+_LEN_FMT = ">I"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+
+
+class CheckpointError(ValueError):
+    """Base error for unreadable or unusable checkpoint files."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """The file is not a complete, intact checkpoint (truncated/bit-rot)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """The file's format version is not supported by this code."""
+
+
+def write_checkpoint(
+    path: str | os.PathLike,
+    payload: Any,
+    meta: dict | None = None,
+) -> int:
+    """Atomically write ``payload`` (+ ``meta`` header fields) to ``path``.
+
+    Returns the total bytes written. The temporary file lives in the
+    destination directory so the final ``os.replace`` stays on one
+    filesystem (rename atomicity).
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = dict(meta or {})
+    header.update(
+        version=CHECKPOINT_VERSION,
+        payload_bytes=len(blob),
+        payload_sha256=hashlib.sha256(blob).hexdigest(),
+    )
+    header_bytes = json.dumps(header, sort_keys=True, default=str).encode("utf-8")
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(CHECKPOINT_MAGIC)
+            f.write(struct.pack(_LEN_FMT, len(header_bytes)))
+            f.write(header_bytes)
+            f.write(blob)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return len(CHECKPOINT_MAGIC) + _LEN_SIZE + len(header_bytes) + len(blob)
+
+
+def _read_exact(f, n: int, what: str) -> bytes:
+    data = f.read(n)
+    if len(data) != n:
+        raise CorruptCheckpointError(
+            f"checkpoint truncated: expected {n} bytes of {what}, got {len(data)}"
+        )
+    return data
+
+
+def _load_header(f, path: str) -> dict:
+    magic = f.read(len(CHECKPOINT_MAGIC))
+    if magic != CHECKPOINT_MAGIC:
+        raise CorruptCheckpointError(
+            f"{path!r} is not a repro checkpoint (bad magic {magic!r})"
+        )
+    (header_len,) = struct.unpack(
+        _LEN_FMT, _read_exact(f, _LEN_SIZE, "header length")
+    )
+    try:
+        header = json.loads(_read_exact(f, header_len, "header").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptCheckpointError(f"{path!r}: unreadable header: {exc}") from exc
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(
+            f"{path!r} has format version {version!r}; this build reads "
+            f"version {CHECKPOINT_VERSION}"
+        )
+    return header
+
+
+def read_header(path: str | os.PathLike) -> dict:
+    """Read and validate only the header (cheap checkpoint inspection)."""
+    path = os.fspath(path)
+    with open(path, "rb") as f:
+        return _load_header(f, path)
+
+
+def read_checkpoint(path: str | os.PathLike) -> tuple[dict, Any]:
+    """Read, verify, and unpickle a checkpoint; returns ``(header, payload)``.
+
+    Raises :class:`CorruptCheckpointError` for truncation or checksum
+    mismatch and :class:`CheckpointVersionError` for a format-version skew.
+    """
+    path = os.fspath(path)
+    with open(path, "rb") as f:
+        header = _load_header(f, path)
+        blob = _read_exact(f, int(header["payload_bytes"]), "payload")
+        if f.read(1):
+            raise CorruptCheckpointError(f"{path!r}: trailing bytes after payload")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CorruptCheckpointError(
+            f"{path!r}: payload checksum mismatch (file corrupted)"
+        )
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # pickle raises many concrete types
+        raise CorruptCheckpointError(f"{path!r}: payload unpickling failed: {exc}") from exc
+    return header, payload

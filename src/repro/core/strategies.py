@@ -57,6 +57,13 @@ class LocalStrategy:
     def after_global_round(self) -> None:
         """Called after each global aggregation."""
 
+    def state_dict(self) -> dict:
+        """Evolving cross-round state, for checkpointing (stateless: {})."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (no-op for stateless strategies)."""
+
 
 class PlainSGDStrategy(LocalStrategy):
     """Vanilla local SGD — FedAvg/Group-FEL local behaviour."""
@@ -153,3 +160,25 @@ class ScaffoldStrategy(LocalStrategy):
         # c ← c + (1/N) Σ Δc_i over this round's participants.
         self.c_global += np.sum(self._pending_deltas, axis=0) / max(self._num_clients, 1)
         self._pending_deltas = []
+
+    def state_dict(self) -> dict:
+        return {
+            "c_global": None if self.c_global is None else self.c_global.copy(),
+            "c_clients": {cid: c.copy() for cid, c in self.c_clients.items()},
+            "pending_deltas": [d.copy() for d in self._pending_deltas],
+            "num_clients": self._num_clients,
+            "num_params": self._num_params,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        c_global = state["c_global"]
+        self.c_global = None if c_global is None else np.array(c_global, copy=True)
+        self.c_clients = {
+            int(cid): np.array(c, copy=True)
+            for cid, c in state["c_clients"].items()
+        }
+        self._pending_deltas = [
+            np.array(d, copy=True) for d in state["pending_deltas"]
+        ]
+        self._num_clients = int(state["num_clients"])
+        self._num_params = int(state["num_params"])

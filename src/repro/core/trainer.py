@@ -14,10 +14,22 @@ from __future__ import annotations
 
 import copy
 import itertools
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    capture_state,
+    config_fingerprint,
+    get_active_policy as get_active_checkpoint_policy,
+    manager_for_label,
+    read_checkpoint,
+    restore_state,
+    write_checkpoint,
+)
 from repro.core.aggregation import weighted_average
 from repro.core.group import run_group_round
 from repro.core.strategies import LocalStrategy, PlainSGDStrategy
@@ -56,6 +68,11 @@ class TrainerConfig:
     (the CLI grammar, e.g. ``"dropout:0.2,straggler:0.1:2.0"``) — a string
     is parsed with a plan seed derived from ``seed``, so the whole faulted
     run replays from the one config.
+
+    ``checkpoint_every`` sets the auto-save cadence (in global rounds) used
+    when the trainer has a checkpoint directory (its ``checkpoint_dir=``
+    parameter, or the ambient :class:`repro.checkpoint.CheckpointPolicy`);
+    None defers to the policy's cadence, defaulting to every round.
     """
 
     group_rounds: int = 5
@@ -78,6 +95,7 @@ class TrainerConfig:
     client_dropout_prob: float = 0.0
     parallel_backend: str = "serial"
     faults: FaultPlan | str | None = None
+    checkpoint_every: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -101,6 +119,10 @@ class TrainerConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.eval_every < 1:
             raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 or None, got {self.checkpoint_every}"
+            )
         if not 0.0 <= self.client_dropout_prob < 1.0:
             raise ValueError(
                 f"client_dropout_prob must be in [0, 1), got {self.client_dropout_prob}"
@@ -268,6 +290,14 @@ class GroupFELTrainer:
         backend the federated dataset and model factory are registered as
         one-time worker state, so per-round dispatch ships only the global
         parameters, the group, and the round RNG.
+    checkpoint_dir:
+        Directory for crash-safe auto-checkpoints: :meth:`run` saves
+        complete trainer state every ``config.checkpoint_every`` rounds
+        (default: every round) via :class:`repro.checkpoint.CheckpointManager`.
+        Omitted, the ambient :class:`repro.checkpoint.CheckpointPolicy`
+        (``repro.checkpoint.checkpointing_activated``) applies, each trainer
+        writing under ``policy.dir/<label>/`` — and auto-resuming from the
+        latest checkpoint at construction when the policy says so.
 
     Fault injection
     ---------------
@@ -298,6 +328,7 @@ class GroupFELTrainer:
         backdoor_detector: BackdoorDetector | None = None,
         telemetry: Telemetry | None = None,
         parallel: ParallelMap | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
     ):
         #: resolved once at construction: the explicit instance, the
         #: ambient one (``repro.telemetry.activated``), or the no-op null.
@@ -417,6 +448,31 @@ class GroupFELTrainer:
             self._pmap.register_worker_state(
                 self._worker_token, self._worker_context()
             )
+
+        # ------------------------------------------------- checkpointing
+        # Explicit directory > ambient policy > none. Under a policy each
+        # trainer namespaces its own subdirectory by label; auto-resume
+        # (policy.resume) must run after the pool is set up because it
+        # re-registers worker state.
+        policy = get_active_checkpoint_policy()
+        self.checkpoint_manager: CheckpointManager | None = None
+        if checkpoint_dir is not None:
+            self.checkpoint_manager = CheckpointManager(
+                checkpoint_dir,
+                every=self.config.checkpoint_every or 1,
+                telemetry=self.telemetry,
+            )
+        elif policy is not None:
+            self.checkpoint_manager = manager_for_label(
+                policy,
+                label,
+                every=self.config.checkpoint_every,
+                telemetry=self.telemetry,
+            )
+            if policy.resume:
+                latest = self.checkpoint_manager.latest()
+                if latest is not None:
+                    self.load_checkpoint(latest)
 
     # ------------------------------------------------------------------ plumbing
     def _worker_context(self) -> _WorkerContext:
@@ -713,6 +769,85 @@ class GroupFELTrainer:
         self.model.set_params(self.global_params)
         return self.model.evaluate(self.fed.test.x, self.fed.test.y)
 
+    # ------------------------------------------------------------ checkpointing
+    def save_checkpoint(self, path: str | os.PathLike | None = None) -> str:
+        """Atomically write complete trainer state; returns the file path.
+
+        With ``path`` the checkpoint goes exactly there; without it, the
+        configured :class:`repro.checkpoint.CheckpointManager` stamps the
+        file by round under its directory. Either way the write is
+        temp-then-rename atomic, and ``checkpoint.saves`` /
+        ``checkpoint.bytes`` are recorded when telemetry is enabled.
+        """
+        tel = self.telemetry
+        meta = {
+            "label": self.label,
+            "round_idx": self.round_idx,
+            "config": config_fingerprint(self.config),
+        }
+        with tel.span("checkpoint_save", round=self.round_idx):
+            state = capture_state(self)
+            if path is not None:
+                nbytes = write_checkpoint(path, state, meta=meta)
+                if tel.enabled:
+                    tel.inc("checkpoint.saves")
+                    tel.inc("checkpoint.bytes", float(nbytes))
+                return os.fspath(path)
+            if self.checkpoint_manager is None:
+                raise ValueError(
+                    "save_checkpoint() needs a path when the trainer has no "
+                    "checkpoint_dir (and no ambient checkpoint policy)"
+                )
+            return self.checkpoint_manager.save(state, self.round_idx, meta=meta)
+
+    def load_checkpoint(
+        self, path: str | os.PathLike, strict: bool = True
+    ) -> "GroupFELTrainer":
+        """Resume from a checkpoint file (or the latest in a directory).
+
+        Restores every piece of evolving state — model, RNG streams
+        (including spawn counters), strategy state, history, ledger, fault
+        trace, sampler — so continuing :meth:`run` reproduces the
+        uninterrupted run bit for bit on any backend. On the ``process``
+        backend the worker pool's one-time state is re-registered so pool
+        workers see the restored strategy/compressor state too.
+
+        With ``strict`` (default) the checkpoint's recorded config
+        fingerprint must match this trainer's config exactly.
+        """
+        path = os.fspath(path)
+        if os.path.isdir(path):
+            latest = CheckpointManager(path).latest()
+            if latest is None:
+                raise FileNotFoundError(f"no checkpoints under {path!r}")
+            path = latest
+        tel = self.telemetry
+        with tel.span("resume", path=path):
+            header, state = read_checkpoint(path)
+            if strict:
+                saved = header.get("config")
+                current = config_fingerprint(self.config)
+                if saved is not None and saved != current:
+                    diverged = sorted(
+                        k
+                        for k in set(saved) | set(current)
+                        if saved.get(k) != current.get(k)
+                    )
+                    raise CheckpointError(
+                        f"checkpoint {path!r} was written under a different "
+                        f"config (fields {diverged}); resuming it would break "
+                        "deterministic replay — pass strict=False to override"
+                    )
+            restore_state(self, state)
+            if self._pmap.backend == "process":
+                # The restore replaced strategy/compressor/fault state; the
+                # pool's registered worker context must follow or workers
+                # would train against the pre-crash state.
+                self._pmap.register_worker_state(
+                    self._worker_token, self._worker_context()
+                )
+        return self
+
     def _record_checkpoint(self, budget: float | None, final: bool = False) -> None:
         """Evaluate and record — unless the point would land past the budget.
 
@@ -746,6 +881,11 @@ class GroupFELTrainer:
         ``budget_overshoot`` (how far past the budget the ledger ran); the
         overshooting checkpoint itself is not recorded, so accuracy-vs-cost
         curves end within the budget.
+
+        With a checkpoint directory configured (``checkpoint_dir=`` or the
+        ambient policy), complete trainer state is saved atomically every
+        ``config.checkpoint_every`` rounds — a crashed run resumes from the
+        last boundary via :meth:`load_checkpoint` with bit-identical curves.
         """
         max_rounds = max_rounds if max_rounds is not None else self.config.max_rounds
         budget = cost_budget if cost_budget is not None else self.config.cost_budget
@@ -761,6 +901,11 @@ class GroupFELTrainer:
                 or self.round_idx >= max_rounds
             ):
                 self._record_checkpoint(budget)
+            if (
+                self.checkpoint_manager is not None
+                and self.checkpoint_manager.should_save(self.round_idx)
+            ):
+                self.save_checkpoint()
             for cb in self.callbacks:
                 if cb.on_round_end(self, self.round_idx):
                     stopped = True
@@ -771,6 +916,13 @@ class GroupFELTrainer:
             )
         if not self.history.rounds or self.history.rounds[-1] != self.round_idx:
             self._record_checkpoint(budget, final=True)
+        if (
+            self.checkpoint_manager is not None
+            and self.checkpoint_manager.last_saved_round != self.round_idx
+        ):
+            # Off-cadence final round: persist it anyway so a later resume
+            # can extend the run from its true end state.
+            self.save_checkpoint()
         for cb in self.callbacks:
             cb.on_train_end(self)
         return self.history

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments fig7 --telemetry trace.jsonl
     python -m repro.experiments fig9 --faults dropout:0.2,straggler:0.1:2.0
     python -m repro.experiments fig9 --parallel process:4
+    python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9
+    python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9 --resume
     python -m repro.experiments list
 """
 
@@ -17,6 +19,7 @@ import json
 import sys
 from contextlib import ExitStack
 
+from repro.checkpoint import CheckpointPolicy, checkpointing_activated
 from repro.faults import FaultPlan, plan_activated
 from repro.parallel import ParallelMap, activated as parallel_activated
 from repro.telemetry import Telemetry, activated
@@ -87,6 +90,28 @@ def main(argv: list[str] | None = None) -> int:
         "(e.g. 'process:4'). Every trainer the target constructs reuses "
         "the pool; it is closed when the run finishes.",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        default=None,
+        help="crash-safe checkpointing: every trainer the target constructs "
+        "saves complete state under PATH/<method-label>/ at each round "
+        "boundary (atomic write-temp-then-rename)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        default=1,
+        help="save cadence in global rounds (default 1; with --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume each trainer from its latest checkpoint under "
+        "--checkpoint-dir; the resumed curves are bit-identical to an "
+        "uninterrupted run",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -115,6 +140,21 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"bad --parallel spec: {exc}", file=sys.stderr)
             return 2
+
+    checkpoint_policy = None
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir:
+        if args.checkpoint_every < 1:
+            print(f"bad --checkpoint-every {args.checkpoint_every}: must be >= 1",
+                  file=sys.stderr)
+            return 2
+        checkpoint_policy = CheckpointPolicy(
+            dir=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
 
     fault_plan = None
     if args.faults:
@@ -154,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
                 pmap.telemetry = telemetry
             stack.enter_context(pmap)  # closes the pool on the way out
             stack.enter_context(parallel_activated(pmap))
+        if checkpoint_policy is not None:
+            stack.enter_context(checkpointing_activated(checkpoint_policy))
         result = fn(args.scale, seed=args.seed) if takes_seed else fn(args.scale)
     if telemetry is not None:
         telemetry.to_jsonl(args.telemetry)

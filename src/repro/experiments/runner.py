@@ -26,6 +26,8 @@ def run_method(
     telemetry=None,
     faults=None,
     parallel: ParallelMap | None = None,
+    checkpoint_dir: str | None = None,
+    resume_from: str | None = None,
 ) -> TrainingHistory:
     """Run one named method (see ``repro.baselines.METHODS``) to completion.
 
@@ -39,6 +41,12 @@ def run_method(
     across calls; omit it to let the trainer build (and close) its own.
     The trainer is always closed before returning, so pooled backends never
     leak worker processes.
+
+    ``checkpoint_dir`` turns on crash-safe auto-checkpointing every
+    ``trainer_config.checkpoint_every`` rounds (default every round);
+    ``resume_from`` (a checkpoint file, or a directory whose latest
+    checkpoint is taken) restores complete trainer state before running, so
+    the returned history is bit-identical to the uninterrupted run's.
     """
     s = workload.scale
     cfg = workload.trainer_config
@@ -56,8 +64,11 @@ def run_method(
         rng=derive_seed(workload.seed, "grouping", name),
         telemetry=telemetry,
         parallel=parallel,
+        checkpoint_dir=checkpoint_dir,
     )
     try:
+        if resume_from is not None:
+            trainer.load_checkpoint(resume_from)
         return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
     finally:
         trainer.close()
@@ -78,6 +89,12 @@ def run_methods(
     ``thread``/``process``) one shared :class:`ParallelMap` is built for the
     whole sweep — workers start once, not once per method — and closed at
     the end. Pass ``parallel`` to reuse an even longer-lived pool.
+
+    To checkpoint/resume a whole sweep, install an ambient
+    :class:`repro.checkpoint.CheckpointPolicy`
+    (``repro.checkpoint.checkpointing_activated``): each method's trainer
+    then checkpoints under its own label subdirectory — per-method
+    ``checkpoint_dir`` arguments would collide on one directory.
     """
     owns_pool = (
         parallel is None
@@ -114,6 +131,8 @@ def run_combo(
     telemetry=None,
     faults=None,
     parallel: ParallelMap | None = None,
+    checkpoint_dir: str | None = None,
+    resume_from: str | None = None,
 ) -> TrainingHistory:
     """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
     groups = group_clients_per_edge(
@@ -135,8 +154,11 @@ def run_combo(
         label=label,
         telemetry=telemetry,
         parallel=parallel,
+        checkpoint_dir=checkpoint_dir,
     )
     try:
+        if resume_from is not None:
+            trainer.load_checkpoint(resume_from)
         return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
     finally:
         trainer.close()

@@ -57,6 +57,15 @@ class FaultTrace:
     events: list[FaultEvent] = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    def __getstate__(self) -> dict:
+        """Pickle/checkpoint support: the lock is process-local, drop it."""
+        with self._lock:
+            return {"events": list(self.events)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.events = list(state["events"])
+        self._lock = threading.Lock()
+
     def record(self, event: FaultEvent) -> None:
         with self._lock:
             self.events.append(event)

@@ -7,6 +7,7 @@ for every evaluation point so any figure can be regenerated.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +35,26 @@ class TrainingHistory:
 
     def __len__(self) -> int:
         return len(self.rounds)
+
+    def state_dict(self) -> dict:
+        """Plain-container snapshot of every curve, for checkpointing."""
+        return {
+            "label": self.label,
+            "rounds": list(self.rounds),
+            "costs": list(self.costs),
+            "test_acc": list(self.test_acc),
+            "test_loss": list(self.test_loss),
+            "extra": copy.deepcopy(self.extra),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.label = state["label"]
+        self.rounds = [int(r) for r in state["rounds"]]
+        self.costs = [float(c) for c in state["costs"]]
+        self.test_acc = [float(a) for a in state["test_acc"]]
+        self.test_loss = [float(l) for l in state["test_loss"]]
+        self.extra = copy.deepcopy(state["extra"])
 
     @property
     def final_accuracy(self) -> float:

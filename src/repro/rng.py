@@ -14,7 +14,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn", "spawn_many", "derive_seed"]
+__all__ = [
+    "make_rng",
+    "spawn",
+    "spawn_many",
+    "derive_seed",
+    "generator_state",
+    "restore_generator",
+]
 
 
 def make_rng(seed: int | None | np.random.Generator = None) -> np.random.Generator:
@@ -61,3 +68,63 @@ def derive_seed(root_seed: int, *path: int | str) -> int:
             tokens.append(int(item) & 0xFFFFFFFFFFFFFFFF)
     seq = np.random.SeedSequence(tokens)
     return int(seq.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot a Generator completely enough to resume it bit-for-bit.
+
+    ``bit_generator.state`` alone is not enough: :meth:`Generator.spawn`
+    consumes the *seed sequence's* child counter, which lives outside the
+    bit-generator state. Both are captured, so a restored generator
+    reproduces the original's future draws **and** future spawns.
+
+    The returned dict contains only builtin types (ints, strings, lists),
+    so it serializes under any format.
+    """
+    bg = rng.bit_generator
+    seq = getattr(bg, "seed_seq", None)
+    seq_state = None
+    if isinstance(seq, np.random.SeedSequence):
+        entropy = seq.entropy
+        if isinstance(entropy, np.ndarray):  # normalize for serialization
+            entropy = [int(e) for e in entropy]
+        seq_state = {
+            "entropy": entropy,
+            "spawn_key": [int(k) for k in seq.spawn_key],
+            "pool_size": int(seq.pool_size),
+            "n_children_spawned": int(seq.n_children_spawned),
+        }
+    return {
+        "bit_generator": type(bg).__name__,
+        "state": bg.state,
+        "seed_seq": seq_state,
+    }
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a Generator from a :func:`generator_state` snapshot."""
+    try:
+        bg_cls = getattr(np.random, state["bit_generator"])
+    except AttributeError:
+        raise ValueError(
+            f"unknown bit generator {state['bit_generator']!r}"
+        ) from None
+    seq_state = state.get("seed_seq")
+    if seq_state is not None:
+        entropy = seq_state["entropy"]
+        if isinstance(entropy, list):
+            entropy = [int(e) for e in entropy]
+        seq = np.random.SeedSequence(
+            entropy=entropy,
+            spawn_key=tuple(int(k) for k in seq_state["spawn_key"]),
+            pool_size=int(seq_state["pool_size"]),
+            n_children_spawned=int(seq_state["n_children_spawned"]),
+        )
+        bg = bg_cls(seq)
+    else:
+        # No seed sequence (exotic hand-built generator): the stream
+        # position is restored below but future .spawn() calls are not
+        # reproducible — see docs/API.md, "RNG-state caveats".
+        bg = bg_cls()
+    bg.state = state["state"]
+    return np.random.Generator(bg)

@@ -15,6 +15,8 @@ the normalized p unchanged.
 
 from __future__ import annotations
 
+from numbers import Real
+
 import numpy as np
 
 from repro.grouping.base import Group
@@ -29,12 +31,60 @@ WEIGHT_FUNCTIONS = {
     "esrcov": lambda x: x * x,
 }
 
+#: Floor on shifted log-weights. Without it, disparate CoVs (esrcov turns
+#: a CoV gap into a *squared* gap in log space) make ``exp(log_w - max)``
+#: underflow to exact 0.0, so p_g == 0: Γ_p = Σ 1/p_g blows up to inf and
+#: Eq. 4 unbiased weights divide by zero. exp(-60) ≈ 8.8e-27 keeps every
+#: p_g > 0 and 1/p_g comfortably finite while being far below any
+#: probability that could affect a draw — an implicit floor of ~1e-26/|G|.
+_LOG_WEIGHT_FLOOR = -60.0
+
 
 def uniform_probabilities(num_groups: int) -> np.ndarray:
     """The ``random`` sampling vector: p_g = 1/|G|."""
     if num_groups <= 0:
         raise ValueError(f"num_groups must be positive, got {num_groups}")
     return np.full(num_groups, 1.0 / num_groups)
+
+
+def _as_cov_array(groups: list[Group] | np.ndarray) -> np.ndarray:
+    """Normalize the ``groups`` argument to a float CoV array.
+
+    Accepts an ndarray of CoVs, any iterable of :class:`Group` objects, or
+    any iterable of real numbers (precomputed CoVs). The old ``groups[0]``
+    type sniff broke on non-indexable iterables (generators, sets) and
+    silently mis-read mixed input; this is explicit and raises a clear
+    ``TypeError`` for anything else.
+    """
+    if isinstance(groups, np.ndarray):
+        if groups.dtype == object or not np.issubdtype(groups.dtype, np.number):
+            raise TypeError(
+                f"cov array must be numeric, got dtype {groups.dtype}"
+            )
+        return np.asarray(groups, dtype=np.float64)
+    try:
+        items = list(groups)
+    except TypeError:
+        raise TypeError(
+            f"groups must be an iterable of Group objects or CoV floats, "
+            f"got {type(groups).__name__}"
+        ) from None
+    if all(isinstance(g, Group) for g in items):
+        return np.array([g.cov for g in items], dtype=np.float64)
+    if all(isinstance(g, Real) and not isinstance(g, bool) for g in items):
+        return np.array(items, dtype=np.float64)
+    if any(isinstance(g, Group) for g in items):
+        raise TypeError(
+            "mixed input: pass either all Group objects or all CoV values, "
+            "not a mixture"
+        )
+    offender = next(
+        g for g in items if not isinstance(g, Real) or isinstance(g, bool)
+    )
+    raise TypeError(
+        "groups must be Group objects or real CoV values; got element "
+        f"{offender!r} of type {type(offender).__name__}"
+    )
 
 
 def sampling_probabilities(
@@ -59,13 +109,13 @@ def sampling_probabilities(
     cov_floor:
         CoV values below this are clamped before inversion: a perfectly
         balanced group (CoV = 0) would otherwise get infinite weight.
+
+    Every returned probability is strictly positive: shifted log-weights
+    are clamped at an implicit floor (``exp(-60)`` pre-normalization)
+    before exponentiating, so extreme CoV disparity can no longer underflow
+    a group to p_g = 0 — Γ_p and the Eq. 4 unbiased weights stay finite.
     """
-    if isinstance(groups, np.ndarray) or (
-        len(groups) > 0 and not isinstance(groups[0], Group)
-    ):
-        covs = np.asarray(groups, dtype=np.float64)
-    else:
-        covs = np.array([g.cov for g in groups], dtype=np.float64)
+    covs = _as_cov_array(groups)
     n = covs.shape[0]
     if n == 0:
         raise ValueError("cannot compute probabilities over zero groups")
@@ -81,7 +131,12 @@ def sampling_probabilities(
             ) from None
         x = 1.0 / np.maximum(covs, cov_floor)
         log_w = log_w_fn(x)
-        log_w -= log_w.max()  # shift-invariant normalization
+        # Shift-invariant normalization, clamped: exp of a very negative
+        # shifted log-weight underflows to exact 0.0, which poisons Γ_p
+        # (inf) and unbiased aggregation (division by p_g). The floor keeps
+        # every weight a normal positive float without measurably changing
+        # any sampleable probability.
+        log_w = np.maximum(log_w - log_w.max(), _LOG_WEIGHT_FLOOR)
         w = np.exp(log_w)
         p = w / w.sum()
     if min_prob > 0.0:

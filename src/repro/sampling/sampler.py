@@ -56,6 +56,12 @@ def sample_without_replacement(
     if np.any(p < 0) or not np.isclose(p.sum(), 1.0):
         raise ValueError("p must be a probability vector")
     rng = make_rng(rng)
+    # Our isclose tolerance (atol 1e-8, rtol 1e-5) is looser than
+    # rng.choice's internal sum check (~sqrt(eps) with Kahan summation), so
+    # a vector that drifted during floor renormalization can pass the guard
+    # above yet still raise "probabilities do not sum to 1" inside choice.
+    # Renormalize immediately before the draw.
+    p = p / p.sum()
     return rng.choice(n, size=size, replace=False, p=p)
 
 

@@ -1,0 +1,170 @@
+"""Tests for the versioned checkpoint container (repro.checkpoint.format).
+
+The container must fail loudly on every corruption mode — truncation at any
+boundary, bit flips, trailing garbage, foreign files, version skew — and
+never leave a partial file under the checkpoint's name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    CheckpointVersionError,
+    CorruptCheckpointError,
+)
+from repro.checkpoint.format import (
+    CHECKPOINT_MAGIC,
+    read_checkpoint,
+    read_header,
+    write_checkpoint,
+)
+from repro.faults import FaultEvent, FaultTrace
+
+PAYLOAD = {"params": np.arange(12, dtype=np.float64), "round": 3, "note": "x"}
+
+
+def _write(tmp_path, payload=None, meta=None):
+    path = tmp_path / "ckpt_round_000003.ckpt"
+    nbytes = write_checkpoint(path, payload if payload is not None else PAYLOAD,
+                              meta=meta or {"label": "t", "round_idx": 3})
+    return path, nbytes
+
+
+class TestRoundTrip:
+    def test_payload_and_meta_survive(self, tmp_path):
+        path, _ = _write(tmp_path)
+        header, payload = read_checkpoint(path)
+        assert header["label"] == "t"
+        assert header["round_idx"] == 3
+        np.testing.assert_array_equal(payload["params"], PAYLOAD["params"])
+        assert payload["round"] == 3
+
+    def test_reported_bytes_match_file_size(self, tmp_path):
+        path, nbytes = _write(tmp_path)
+        assert nbytes == os.path.getsize(path)
+
+    def test_read_header_without_payload(self, tmp_path):
+        path, _ = _write(tmp_path)
+        header = read_header(path)
+        assert header["label"] == "t"
+        assert header["payload_bytes"] > 0
+
+    def test_creates_missing_directory(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "c.ckpt"
+        write_checkpoint(path, PAYLOAD)
+        assert read_checkpoint(path)[1]["round"] == 3
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path, _ = _write(tmp_path)
+        write_checkpoint(path, {"round": 99})
+        assert read_checkpoint(path)[1]["round"] == 99
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        _write(tmp_path)
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestCorruptionRejection:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.ckpt"
+        path.write_bytes(b"NOTACKPT" + b"\x00" * 64)
+        with pytest.raises(CorruptCheckpointError, match="bad magic"):
+            read_checkpoint(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptCheckpointError):
+            read_checkpoint(path)
+
+    @pytest.mark.parametrize("keep_fraction", [0.1, 0.5, 0.9])
+    def test_truncation_anywhere(self, tmp_path, keep_fraction):
+        """Cutting the file at any point must raise, never resume garbage."""
+        path, nbytes = _write(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: max(len(CHECKPOINT_MAGIC), int(nbytes * keep_fraction))])
+        with pytest.raises(CorruptCheckpointError):
+            read_checkpoint(path)
+
+    def test_bit_flip_in_payload_fails_checksum(self, tmp_path):
+        path, nbytes = _write(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptCheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_trailing_garbage(self, tmp_path):
+        path, _ = _write(tmp_path)
+        path.write_bytes(path.read_bytes() + b"junk")
+        with pytest.raises(CorruptCheckpointError, match="trailing"):
+            read_checkpoint(path)
+
+    def test_unreadable_header_json(self, tmp_path):
+        garbage = b"{not json"
+        blob = CHECKPOINT_MAGIC + struct.pack(">I", len(garbage)) + garbage
+        path = tmp_path / "badheader.ckpt"
+        path.write_bytes(blob)
+        with pytest.raises(CorruptCheckpointError, match="header"):
+            read_checkpoint(path)
+
+    def test_version_mismatch(self, tmp_path, monkeypatch):
+        import repro.checkpoint.format as fmt
+
+        path = tmp_path / "future.ckpt"
+        monkeypatch.setattr(fmt, "CHECKPOINT_VERSION", 999)
+        write_checkpoint(path, PAYLOAD)
+        monkeypatch.undo()
+        with pytest.raises(CheckpointVersionError, match="version 999"):
+            read_checkpoint(path)
+
+    def test_header_length_past_eof(self, tmp_path):
+        blob = CHECKPOINT_MAGIC + struct.pack(">I", 10_000) + b"{}"
+        path = tmp_path / "shortheader.ckpt"
+        path.write_bytes(blob)
+        with pytest.raises(CorruptCheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_unpicklable_payload_leaves_previous_checkpoint_intact(self, tmp_path):
+        """A failed write must not clobber the checkpoint already on disk."""
+        path, _ = _write(tmp_path)
+        before = path.read_bytes()
+        with pytest.raises(Exception):
+            write_checkpoint(path, {"fn": lambda: None})  # unpicklable
+        assert path.read_bytes() == before
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+class TestFaultTracePickling:
+    def test_trace_with_lock_round_trips(self):
+        """FaultTrace holds a threading.Lock; checkpoint payloads need it
+        picklable (and usable again after restore)."""
+        trace = FaultTrace()
+        trace.extend([FaultEvent("dropout", 1, 0), FaultEvent("straggler", 2, 1)])
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.signature() == trace.signature()
+        clone.extend([FaultEvent("loss", 3, 2)])  # lock was rebuilt
+        assert isinstance(
+            getattr(clone, "_lock", threading.Lock()), type(threading.Lock())
+        )
+
+
+class TestHeaderIsPlainJSON:
+    def test_header_json_decodable_by_hand(self, tmp_path):
+        """The header region is ordinary JSON — inspectable without repro."""
+        path, _ = _write(tmp_path)
+        data = path.read_bytes()
+        offset = len(CHECKPOINT_MAGIC)
+        (hlen,) = struct.unpack(">I", data[offset: offset + 4])
+        header = json.loads(data[offset + 4: offset + 4 + hlen])
+        assert header["version"] == 1
+        assert header["payload_sha256"]

@@ -1,0 +1,290 @@
+"""Deterministic resume: interrupted-then-resumed runs must be bit-identical
+to uninterrupted ones — accuracy/cost curves, model parameters, and the
+fault-replay signature — on every parallel backend.
+
+The golden run never touches a checkpoint; a second run checkpoints every
+round (proving the snapshots themselves don't perturb training); then a
+fresh trainer resumes from *every* round boundary and must land exactly on
+the golden curves.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointError, CheckpointPolicy, checkpointing_activated
+from repro.core.callbacks import Callback
+from repro.core.strategies import ScaffoldStrategy
+from repro.core.trainer import GroupFELTrainer, TrainerConfig
+from repro.costs import paper_cost_model
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.nn import make_mlp
+
+# Module-level so the process backend can pickle it.
+model_fn = functools.partial(make_mlp, 192, 10, seed=0)
+
+FAULTS = "dropout:0.3@after,loss:0.2,straggler:0.3:0.5"
+
+
+def _make_trainer(
+    small_fed,
+    small_edges,
+    *,
+    backend="serial",
+    checkpoint_dir=None,
+    strategy=None,
+    lr=0.05,
+    regroup_every=None,
+    max_rounds=6,
+    checkpoint_every=None,
+    faults=FAULTS,
+    label="ckpt-test",
+):
+    groups = group_clients_per_edge(
+        CoVGrouping(3, 1.0), small_fed.L, small_edges, rng=0
+    )
+    cfg = TrainerConfig(
+        max_rounds=max_rounds, group_rounds=1, local_rounds=1, num_sampled=2,
+        momentum=0.9, weight_decay=1e-4, lr=lr,
+        seed=7, parallel_backend=backend, faults=faults,
+        regroup_every=regroup_every, checkpoint_every=checkpoint_every,
+    )
+    kwargs = {}
+    if regroup_every is not None:
+        kwargs.update(grouper=CoVGrouping(3, 1.0), edge_assignment=small_edges)
+    return GroupFELTrainer(
+        model_fn, small_fed, groups, cfg, paper_cost_model(),
+        strategy=strategy, label=label, checkpoint_dir=checkpoint_dir,
+        **kwargs,
+    )
+
+
+def _finish(trainer, **run_kwargs):
+    """Run to completion and return the replay fingerprint tuple."""
+    try:
+        history = trainer.run(**run_kwargs)
+    finally:
+        trainer.close()
+    digest = hashlib.sha256(
+        np.ascontiguousarray(trainer.global_params).tobytes()
+    ).hexdigest()
+    return history.state_dict(), trainer.fault_trace.signature(), digest
+
+
+class _CrashAfter(Callback):
+    """Simulate a hard crash right after a round's checkpoint was saved."""
+
+    def __init__(self, round_idx: int):
+        self.round_idx = round_idx
+
+    def on_round_end(self, trainer, round_idx: int) -> bool:
+        if round_idx >= self.round_idx:
+            raise RuntimeError("simulated crash")
+        return False
+
+
+class TestResumeSerial:
+    def test_resume_from_every_round_boundary(self, small_fed, small_edges, tmp_path):
+        golden = _finish(_make_trainer(small_fed, small_edges))
+
+        ckdir = tmp_path / "ck"
+        checkpointed = _finish(
+            _make_trainer(small_fed, small_edges, checkpoint_dir=ckdir)
+        )
+        # Checkpointing must not perturb the run it observes.
+        assert checkpointed == golden
+        saved = sorted(p.name for p in ckdir.glob("ckpt_round_*.ckpt"))
+        assert saved == [f"ckpt_round_{r:06d}.ckpt" for r in range(1, 7)]
+
+        for k in range(1, 6):
+            resumed = _make_trainer(small_fed, small_edges)
+            resumed.load_checkpoint(ckdir / f"ckpt_round_{k:06d}.ckpt")
+            assert resumed.round_idx == k
+            assert _finish(resumed) == golden, f"divergence resuming at round {k}"
+
+    def test_crash_mid_run_then_resume(self, small_fed, small_edges, tmp_path):
+        golden = _finish(_make_trainer(small_fed, small_edges))
+
+        crashed = _make_trainer(
+            small_fed, small_edges, checkpoint_dir=tmp_path / "ck"
+        )
+        crashed.callbacks.append(_CrashAfter(3))
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashed.run()
+        crashed.close()
+
+        resumed = _make_trainer(small_fed, small_edges)
+        resumed.load_checkpoint(tmp_path / "ck")  # directory → latest
+        assert resumed.round_idx == 3
+        assert _finish(resumed) == golden
+
+    def test_resume_preserves_scaffold_control_variates(
+        self, small_fed, small_edges, tmp_path
+    ):
+        def make(ckdir=None):
+            return _make_trainer(
+                small_fed, small_edges, strategy=ScaffoldStrategy(),
+                checkpoint_dir=ckdir, max_rounds=4,
+            )
+
+        golden = _finish(make())
+        _finish(make(tmp_path / "ck"))
+        resumed = make()
+        resumed.load_checkpoint(tmp_path / "ck" / "ckpt_round_000002.ckpt")
+        assert _finish(resumed) == golden
+
+    def test_resume_across_regrouping(self, small_fed, small_edges, tmp_path):
+        """Regrouping consumes trainer-RNG spawns and replaces the groups;
+        a checkpoint taken after it must restore both."""
+
+        def make(ckdir=None):
+            return _make_trainer(
+                small_fed, small_edges, regroup_every=2, max_rounds=5,
+                checkpoint_dir=ckdir,
+            )
+
+        golden = _finish(make())
+        _finish(make(tmp_path / "ck"))
+        resumed = make()
+        resumed.load_checkpoint(tmp_path / "ck" / "ckpt_round_000003.ckpt")
+        assert _finish(resumed) == golden
+
+
+class TestResumePooledBackends:
+    def test_thread_backend_resume(self, small_fed, small_edges, tmp_path):
+        golden = _finish(
+            _make_trainer(small_fed, small_edges, backend="thread", max_rounds=4)
+        )
+        _finish(
+            _make_trainer(
+                small_fed, small_edges, backend="thread", max_rounds=4,
+                checkpoint_dir=tmp_path / "ck",
+            )
+        )
+        resumed = _make_trainer(
+            small_fed, small_edges, backend="thread", max_rounds=4
+        )
+        resumed.load_checkpoint(tmp_path / "ck" / "ckpt_round_000002.ckpt")
+        assert _finish(resumed) == golden
+
+    @pytest.mark.slow
+    def test_process_backend_resume(self, small_fed, small_edges, tmp_path):
+        """Resume must re-register the pool's one-time worker state so
+        workers train against the restored strategy/compressor/faults."""
+        golden = _finish(
+            _make_trainer(small_fed, small_edges, backend="process", max_rounds=4)
+        )
+        _finish(
+            _make_trainer(
+                small_fed, small_edges, backend="process", max_rounds=4,
+                checkpoint_dir=tmp_path / "ck",
+            )
+        )
+        resumed = _make_trainer(
+            small_fed, small_edges, backend="process", max_rounds=4
+        )
+        resumed.load_checkpoint(tmp_path / "ck" / "ckpt_round_000002.ckpt")
+        assert _finish(resumed) == golden
+
+    @pytest.mark.slow
+    def test_serial_checkpoint_resumes_on_process_backend(
+        self, small_fed, small_edges, tmp_path
+    ):
+        """Checkpoints are backend-portable: train serially, crash, resume
+        on the process pool — same parallel-backend-independent math."""
+        golden = _finish(_make_trainer(small_fed, small_edges, max_rounds=4))
+        _finish(
+            _make_trainer(
+                small_fed, small_edges, max_rounds=4,
+                checkpoint_dir=tmp_path / "ck",
+            )
+        )
+        resumed = _make_trainer(
+            small_fed, small_edges, backend="process", max_rounds=4
+        )
+        # parallel_backend is part of the config fingerprint; the switch is
+        # intentional here, so opt out of the strict match.
+        resumed.load_checkpoint(
+            tmp_path / "ck" / "ckpt_round_000002.ckpt", strict=False
+        )
+        history, signature, digest = _finish(resumed)
+        assert (history, signature, digest) == golden
+
+
+class TestGuards:
+    def test_config_mismatch_rejected(self, small_fed, small_edges, tmp_path):
+        _finish(
+            _make_trainer(
+                small_fed, small_edges, max_rounds=2,
+                checkpoint_dir=tmp_path / "ck",
+            )
+        )
+        divergent = _make_trainer(small_fed, small_edges, max_rounds=2, lr=0.01)
+        with pytest.raises(CheckpointError, match="lr"):
+            divergent.load_checkpoint(tmp_path / "ck")
+        # strict=False overrides explicitly.
+        divergent.load_checkpoint(tmp_path / "ck", strict=False)
+        assert divergent.round_idx == 2
+        divergent.close()
+
+    def test_load_from_empty_directory(self, small_fed, small_edges, tmp_path):
+        trainer = _make_trainer(small_fed, small_edges, max_rounds=2)
+        with pytest.raises(FileNotFoundError):
+            trainer.load_checkpoint(tmp_path)
+        trainer.close()
+
+    def test_save_without_manager_needs_path(self, small_fed, small_edges, tmp_path):
+        trainer = _make_trainer(small_fed, small_edges, max_rounds=2)
+        with pytest.raises(ValueError, match="path"):
+            trainer.save_checkpoint()
+        # An explicit path works without any manager.
+        path = trainer.save_checkpoint(tmp_path / "manual.ckpt")
+        assert path == str(tmp_path / "manual.ckpt")
+        trainer.close()
+
+    def test_checkpoint_every_cadence_plus_final_save(
+        self, small_fed, small_edges, tmp_path
+    ):
+        _finish(
+            _make_trainer(
+                small_fed, small_edges, checkpoint_dir=tmp_path / "ck",
+                checkpoint_every=4,
+            )
+        )
+        saved = sorted(p.name for p in (tmp_path / "ck").glob("*.ckpt"))
+        # Round 4 on cadence; the off-cadence final round 6 is saved anyway.
+        assert saved == ["ckpt_round_000004.ckpt", "ckpt_round_000006.ckpt"]
+
+
+class TestAmbientPolicyResume:
+    def test_trainers_auto_resume_under_policy(self, small_fed, small_edges, tmp_path):
+        golden = _finish(_make_trainer(small_fed, small_edges))
+
+        policy = CheckpointPolicy(dir=str(tmp_path))
+        with checkpointing_activated(policy):
+            first_leg = _make_trainer(small_fed, small_edges)
+            try:
+                first_leg.run(max_rounds=3)
+            finally:
+                first_leg.close()
+        assert (tmp_path / "ckpt-test" / "ckpt_round_000003.ckpt").exists()
+
+        with checkpointing_activated(CheckpointPolicy(dir=str(tmp_path), resume=True)):
+            second_leg = _make_trainer(small_fed, small_edges)
+            assert second_leg.round_idx == 3  # auto-resumed at construction
+            assert _finish(second_leg) == golden
+
+    def test_explicit_dir_beats_ambient_policy(self, small_fed, small_edges, tmp_path):
+        policy = CheckpointPolicy(dir=str(tmp_path / "policy"))
+        with checkpointing_activated(policy):
+            trainer = _make_trainer(
+                small_fed, small_edges, max_rounds=1,
+                checkpoint_dir=tmp_path / "explicit",
+            )
+            _finish(trainer)
+        assert list((tmp_path / "explicit").glob("*.ckpt"))
+        assert not (tmp_path / "policy").exists()

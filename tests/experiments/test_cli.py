@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.experiments.cli import GENERATORS, main
 
 
@@ -54,3 +56,37 @@ class TestCLI:
         assert "groups_sampled" in counters
         # The ambient instance was deactivated again on the way out.
         assert not get_active().enabled
+
+
+class TestCheckpointFlags:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["fig5", "--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(self, capsys, tmp_path):
+        assert main(
+            ["fig5", "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "0"]
+        ) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_policy_deactivated_after_run(self, capsys, tmp_path):
+        from repro.checkpoint import get_active_policy
+
+        assert main(["fig5", "--scale", "fast", "--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert get_active_policy() is None
+
+    @pytest.mark.slow
+    def test_cli_resume_bit_identical(self, capsys, tmp_path):
+        """fig7 run in two legs via --resume must emit the same JSON as one
+        uninterrupted run."""
+        ckdir = str(tmp_path / "ck")
+        assert main(["fig7", "--scale", "fast", "--json",
+                     "--checkpoint-dir", ckdir]) == 0
+        full = json.loads(capsys.readouterr().out)
+        # Second invocation resumes every method at its final round: no new
+        # training happens, and the regenerated figure is identical.
+        assert main(["fig7", "--scale", "fast", "--json",
+                     "--checkpoint-dir", ckdir, "--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed == full

@@ -1,0 +1,179 @@
+"""Regression tests for sampling-probability edge cases.
+
+Three historical failure modes:
+
+1. ESRCoV underflow — disparate CoVs become a *squared* gap in log space,
+   so the softmax shift pushed high-CoV groups to ``exp(very negative) ==
+   0.0`` exactly: p_g = 0, Γ_p = Σ 1/p_g = inf, and Eq. 4 unbiased weights
+   divided by zero.
+2. Floor-renormalization drift — ``min_prob`` water-filling can leave
+   ``p.sum()`` within our ``np.isclose`` guard but outside ``rng.choice``'s
+   stricter internal sum check, so a vector we accepted was rejected one
+   call deeper.
+3. Input sniffing — ``groups[0]`` type detection broke on non-indexable
+   iterables and silently mis-read mixed Group/float input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grouping import Group
+from repro.sampling import (
+    GroupSampler,
+    aggregation_weights,
+    sample_without_replacement,
+    sampling_probabilities,
+)
+
+
+def make_groups(covs):
+    """Groups whose label counts realize (approximately) the given CoVs."""
+    groups = []
+    for i, _ in enumerate(covs):
+        groups.append(Group(i, 0, np.array([i]), np.array([100])))
+    return groups
+
+
+class TestEsrcovUnderflow:
+    def test_disparate_covs_all_strictly_positive(self):
+        """The regression: CoVs spanning [cov_floor, 10] used to underflow
+        the high-CoV groups to p_g == 0 under esrcov."""
+        covs = np.array([1e-3, 0.05, 0.5, 2.0, 10.0])
+        p = sampling_probabilities(covs, "esrcov")
+        assert np.all(p > 0.0), f"zero probabilities: {p}"
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_gamma_p_stays_finite(self):
+        covs = np.array([1e-3, 10.0, 10.0])
+        p = sampling_probabilities(covs, "esrcov")
+        gamma_p = np.sum(1.0 / p)
+        assert np.isfinite(gamma_p)
+
+    def test_unbiased_weights_stay_finite(self):
+        """Eq. 4 divides by p_g; an underflowed group made the weight inf."""
+        covs = np.array([1e-3, 8.0])
+        groups = [
+            Group(0, 0, np.array([0]), np.array([60, 60])),
+            Group(1, 0, np.array([1]), np.array([40, 40])),
+        ]
+        p = sampling_probabilities(covs, "esrcov")
+        w = aggregation_weights(groups, p, 1000, "unbiased")
+        assert np.isfinite(w).all()
+
+    def test_sampler_with_extreme_cov_spread(self):
+        """End to end: a sampler over extreme CoVs draws and reports Γ_p."""
+        rng = np.random.default_rng(0)
+        counts = [
+            np.array([50, 50, 50]),        # CoV 0 → clamped to cov_floor
+            np.array([150, 0, 0]),         # highly skewed
+            np.array([149, 1, 0]),
+        ]
+        groups = [Group(i, 0, np.array([i]), c) for i, c in enumerate(counts)]
+        sampler = GroupSampler(groups, method="esrcov", num_sampled=2, rng=rng)
+        assert np.all(sampler.p > 0)
+        assert np.isfinite(sampler.gamma_p())
+        selected, weights = sampler.sample()
+        assert len(selected) == 2 and np.isfinite(weights).all()
+
+    def test_floor_does_not_distort_sampleable_mass(self):
+        """The clamp only props up immeasurably small probabilities; the
+        dominant ones keep their exact softmax values."""
+        covs = np.array([0.1, 0.11, 9.0])
+        p = sampling_probabilities(covs, "esrcov")
+        x = 1.0 / covs[:2]
+        expected_ratio = np.exp(x[0] ** 2 - x[1] ** 2)
+        assert p[0] / p[1] == pytest.approx(expected_ratio, rel=1e-12)
+        assert 0.0 < p[2] < 1e-20  # floored, but nonzero
+
+    @given(st.lists(st.floats(1e-3, 10.0), min_size=2, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_strictly_positive_over_full_cov_range(self, covs):
+        """Property: any CoV mix in [cov_floor, 10] yields p > 0 and finite
+        Γ_p for every method."""
+        covs = np.array(covs)
+        for method in ("random", "rcov", "srcov", "esrcov"):
+            p = sampling_probabilities(covs, method)
+            assert np.all(p > 0.0)
+            assert np.isfinite(np.sum(1.0 / p))
+
+
+class TestFlooredVectorDraw:
+    def test_drift_within_isclose_tolerance_still_draws(self):
+        """A sum within our np.isclose guard but outside rng.choice's
+        stricter check used to raise inside the draw."""
+        p = np.full(4, 0.25)
+        p[0] += 1e-6  # passes isclose(sum, 1), fails choice's sqrt(eps) gate
+        idx = sample_without_replacement(p, 2, rng=0)
+        assert len(set(idx.tolist())) == 2
+
+    def test_min_prob_floor_output_is_always_drawable(self):
+        """End to end: heavily floored esrcov vectors over many group counts
+        must never be rejected by the draw."""
+        for n in range(3, 24):
+            covs = np.linspace(1e-3, 10.0, n)
+            p = sampling_probabilities(covs, "esrcov", min_prob=1.0 / (2 * n))
+            for seed in range(3):
+                idx = sample_without_replacement(p, 2, rng=seed)
+                assert len(set(idx.tolist())) == 2
+
+    def test_clearly_invalid_vector_still_rejected(self):
+        """The pre-draw renormalization must not paper over real errors."""
+        with pytest.raises(ValueError, match="probability vector"):
+            sample_without_replacement(np.array([0.7, 0.7]), 1, rng=0)
+        with pytest.raises(ValueError, match="probability vector"):
+            sample_without_replacement(np.array([1.5, -0.5]), 1, rng=0)
+
+
+class TestInputNormalization:
+    def test_generator_of_groups(self):
+        groups = make_groups([0.2, 0.4])
+        p = sampling_probabilities(g for g in groups)
+        assert p.shape == (2,)
+
+    def test_generator_of_floats(self):
+        p = sampling_probabilities((c for c in [0.2, 0.4, 0.8]), "rcov")
+        assert p[0] > p[1] > p[2]
+
+    def test_tuple_and_list_of_numbers(self):
+        expected = sampling_probabilities(np.array([0.2, 0.4]), "rcov")
+        np.testing.assert_allclose(
+            sampling_probabilities((0.2, 0.4), "rcov"), expected
+        )
+        np.testing.assert_allclose(
+            sampling_probabilities([0.2, np.float64(0.4)], "rcov"), expected
+        )
+
+    def test_python_ints_accepted_as_covs(self):
+        p = sampling_probabilities([1, 2, 4], "rcov")
+        assert p[0] > p[1] > p[2]
+
+    def test_mixed_groups_and_floats_rejected(self):
+        groups = make_groups([0.2])
+        with pytest.raises(TypeError, match="mixed"):
+            sampling_probabilities([groups[0], 0.4])
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(TypeError, match="iterable"):
+            sampling_probabilities(0.5)  # a scalar is not a group list
+
+    def test_foreign_element_named_in_error(self):
+        with pytest.raises(TypeError, match="str"):
+            sampling_probabilities([0.2, "0.4"])
+
+    def test_bools_rejected(self):
+        """bool is an int subclass; as a CoV it is always a bug."""
+        with pytest.raises(TypeError, match="bool"):
+            sampling_probabilities([True, False])
+
+    def test_object_dtype_array_rejected(self):
+        arr = np.array([0.2, "x"], dtype=object)
+        with pytest.raises(TypeError, match="numeric"):
+            sampling_probabilities(arr)
+
+    def test_empty_input_still_a_value_error(self):
+        with pytest.raises(ValueError, match="zero groups"):
+            sampling_probabilities([])
