@@ -142,6 +142,13 @@ class RPiEmulator:
 
         ``payload_factor=2`` gives the SCAFFOLD-SecAgg curve (model +
         control variate are both masked).
+
+        Times :meth:`SecureAggregator.aggregate_reference` — the
+        protocol-faithful path where every client expands each of its
+        |g|−1 pair masks itself, which is the Θ(|g|²·d) per-device work
+        the cost model calibrates.  The simulator's batched hot path
+        dedups mask expansions across the group and would understate what
+        one RPi actually computes.
         """
         agg = SecureAggregator(payload_factor=payload_factor)
         sizes = np.asarray(group_sizes, dtype=np.int64)
@@ -149,7 +156,7 @@ class RPiEmulator:
         dim = self._task_dim(task)
         for k, s in enumerate(sizes):
             vecs = self.rng.normal(size=(int(s), dim))
-            secs[k] = self._time(lambda: agg.aggregate(vecs, round_id=k))
+            secs[k] = self._time(lambda: agg.aggregate_reference(vecs, round_id=k))
         params, r2 = _safe_fit("quadratic", sizes, secs)
         name = "SCAFFOLD SecAgg" if payload_factor > 1 else "SecAgg"
         return MeasurementSeries(

@@ -33,8 +33,11 @@ class RoundTiming:
     per_group_s: dict  # group_id -> its pipeline time
 
     @property
-    def bottleneck_group(self) -> int:
-        """Group id of the straggler group this round."""
+    def bottleneck_group(self) -> int | None:
+        """Group id of the straggler group this round, or ``None`` for an
+        empty round (every sampled group faulted out before timing)."""
+        if not self.per_group_s:
+            return None
         return max(self.per_group_s, key=self.per_group_s.get)
 
 

@@ -9,10 +9,18 @@ For a group g with per-class sample counts ``c_j`` (j = 1..m, n_g = Σc_j):
 The paper's printed Eq. (27) reads ``sqrt(Σ_j (n_g/m − c_j)² / n_g)`` which
 is not exactly σ/μ given Eq. (28) — a typesetting slip mixing the ``m`` and
 ``n_g`` denominators. We expose both: :func:`cov_of_counts` (canonical, used
-everywhere) and :func:`cov_paper_eq27` (the literal formula). For fixed
-``n_g`` and ``m`` they are monotonic transforms of each other
-(eq27 = CoV · n_g / (m·sqrt(n_g)) · ... — both are scaled L2 deviations), so
-greedy grouping decisions within a candidate scan agree.
+everywhere by default) and :func:`cov_paper_eq27` (the literal formula),
+selectable on ``CoVGrouping`` via ``cov_metric="eq27"``.
+
+The two are related by ``eq27 = CoV · sqrt(n_g / m)`` — a monotone
+rescaling only at *fixed* group size n_g. Inside a greedy candidate scan
+n_g differs per candidate (each adds a different client's sample count),
+so the √(n_g/m) factor reweights candidates and the argmins can diverge:
+a larger, slightly-less-balanced candidate can beat a smaller, more
+balanced one under one metric and lose under the other
+(``tests/grouping/test_incremental_engine.py`` pins a counterexample).
+The metrics are therefore different grouping objectives, not
+interchangeable implementations of one.
 
 All functions are vectorized over a leading batch axis so the grouping
 algorithms can score *every remaining candidate client at once*.

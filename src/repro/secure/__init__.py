@@ -15,7 +15,13 @@ calibrate the cost model.
 """
 
 from repro.secure.quantize import FixedPointCodec
-from repro.secure.masking import pairwise_mask, pairwise_seed
+from repro.secure.masking import (
+    batched_pair_masks,
+    clear_seed_table_cache,
+    pairwise_mask,
+    pairwise_seed,
+    pairwise_seed_table,
+)
 from repro.secure.secagg import SecureAggregator, SecAggResult
 from repro.secure.backdoor import BackdoorDetector, DefenseReport
 from repro.secure.shamir import PRIME, reconstruct_secret, split_secret
@@ -25,6 +31,9 @@ __all__ = [
     "FixedPointCodec",
     "pairwise_mask",
     "pairwise_seed",
+    "pairwise_seed_table",
+    "batched_pair_masks",
+    "clear_seed_table_cache",
     "SecureAggregator",
     "SecAggResult",
     "BackdoorDetector",

@@ -86,12 +86,17 @@ class BackdoorDetector:
 
     @staticmethod
     def cosine_distance_matrix(updates: np.ndarray) -> np.ndarray:
-        """Pairwise cosine distances, shape (s, s). The Θ(s²·d) kernel."""
+        """Pairwise cosine distances, shape (s, s). The Θ(s²·d) kernel.
+
+        One Gram product ``updates @ updates.T`` normalized by the norm
+        outer product — the norms fall out of the Gram diagonal, so the
+        (s, d) matrix is read exactly once and never copied row-normalized.
+        """
         updates = np.asarray(updates, dtype=np.float64)
-        norms = np.linalg.norm(updates, axis=1)
+        gram = updates @ updates.T
+        norms = np.sqrt(np.diagonal(gram))
         safe = np.where(norms > 0, norms, 1.0)
-        unit = updates / safe[:, None]
-        sim = np.clip(unit @ unit.T, -1.0, 1.0)
+        sim = np.clip(gram / np.outer(safe, safe), -1.0, 1.0)
         dist = 1.0 - sim
         np.fill_diagonal(dist, 0.0)
         # Guard tiny negative values from accumulated FP error.

@@ -7,6 +7,17 @@ summation. Dropout recovery (secret-sharing the seeds) is out of scope —
 the simulator has no partial failures — but the cost structure (Θ(|g|²·d)
 mask work per group) is exactly what the paper's O_g(|g|) quadratic
 overhead models.
+
+The hot path batches the whole round: one cached pair-seed table
+(:func:`repro.secure.masking.pairwise_seed_table`), all Philox key
+schedules derived in one vectorized hash pass, and a single reusable
+counter-mode stream that expands each pair mask once and applies it ± in
+place (:func:`repro.secure.masking.accumulate_pair_masks`).  Because ring
+addition is commutative, the masked vectors — and therefore the ring sum —
+are bit-identical to the scalar reference path (kept as
+:meth:`SecureAggregator.aggregate_reference`).  ``mask_expansions`` keeps
+counting the *protocol's* PRG work (two expansions per pair, the Θ(s²)
+quantity), independent of the simulator's dedup.
 """
 
 from __future__ import annotations
@@ -15,7 +26,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.secure.masking import pairwise_mask, pairwise_seed
+from repro.secure.masking import (
+    accumulate_pair_masks,
+    pairwise_mask,
+    pairwise_seed,
+    pairwise_seed_table,
+)
 from repro.secure.quantize import FixedPointCodec
 from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
@@ -71,6 +87,30 @@ class SecureAggregator:
         self.payload_factor = int(payload_factor)
         self.telemetry = resolve_telemetry(telemetry)
 
+    def _validate(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError(f"expected (clients, dim), got shape {vectors.shape}")
+        return vectors
+
+    def _encode_masked(self, vectors: np.ndarray) -> np.ndarray:
+        """Fixed-point encode all rows, tiled to the masked payload width."""
+        enc = self.codec.encode(vectors)
+        if self.payload_factor > 1:
+            enc = np.tile(enc, (1, self.payload_factor))
+        return enc
+
+    def _finish(
+        self, masked: np.ndarray, dim: int, s: int, expansions: int
+    ) -> SecAggResult:
+        ring_sum = masked.sum(axis=0, dtype=np.uint64)
+        total = self.codec.decode(ring_sum[:dim], count=s)
+        if self.telemetry.enabled:
+            self.telemetry.inc("secagg_calls")
+            self.telemetry.inc("secagg_mask_expansions", float(expansions))
+            self.telemetry.inc("secagg_bytes_masked", float(masked.nbytes))
+        return SecAggResult(total=total, masked_inputs=masked, mask_expansions=expansions)
+
     def aggregate(
         self,
         vectors: np.ndarray,
@@ -84,18 +124,35 @@ class SecureAggregator:
         and decodes. The result equals the plain sum up to fixed-point
         rounding.
         """
-        vectors = np.asarray(vectors, dtype=np.float64)
-        if vectors.ndim != 2:
-            raise ValueError(f"expected (clients, dim), got shape {vectors.shape}")
+        vectors = self._validate(vectors)
+        s, dim = vectors.shape
+        masked = self._encode_masked(vectors)
+        if s > 1:
+            lo, hi, seeds = pairwise_seed_table(round_id, s, session)
+            accumulate_pair_masks(masked, lo, hi, seeds)
+        return self._finish(masked, dim, s, s * (s - 1))
+
+    def aggregate_reference(
+        self,
+        vectors: np.ndarray,
+        round_id: int = 0,
+        session: int = 0,
+    ) -> SecAggResult:
+        """The pre-vectorization implementation: one ``SeedSequence`` and
+        one ``Generator`` per (client, partner) mask expansion.
+
+        Kept as the golden reference — ``benchmarks/test_hotpaths.py``
+        measures the speedup against it, and the equivalence tests assert
+        that :meth:`aggregate` produces bit-identical masked matrices.
+        """
+        vectors = self._validate(vectors)
         s, dim = vectors.shape
         masked_dim = dim * self.payload_factor
+        enc_all = self._encode_masked(vectors)
         masked = np.zeros((s, masked_dim), dtype=np.uint64)
         expansions = 0
         for i in range(s):
-            enc = self.codec.encode(vectors[i])
-            if self.payload_factor > 1:
-                enc = np.tile(enc, self.payload_factor)
-            acc = enc.copy()
+            acc = enc_all[i].copy()
             for j in range(s):
                 if j == i:
                     continue
@@ -106,13 +163,7 @@ class SecureAggregator:
                 else:
                     acc -= mask
             masked[i] = acc
-        ring_sum = masked.sum(axis=0, dtype=np.uint64)
-        total = self.codec.decode(ring_sum[:dim], count=s)
-        if self.telemetry.enabled:
-            self.telemetry.inc("secagg_calls")
-            self.telemetry.inc("secagg_mask_expansions", float(expansions))
-            self.telemetry.inc("secagg_bytes_masked", float(masked.nbytes))
-        return SecAggResult(total=total, masked_inputs=masked, mask_expansions=expansions)
+        return self._finish(masked, dim, s, expansions)
 
     def aggregate_weighted(
         self,

@@ -92,11 +92,17 @@ class CommModel:
         total_down = 0.0
         total_up = 0.0
         slowest_group = 0.0
+        edges_seen: set[int] = set()
         for g in groups:
             s = g.size
             retries = int(retries_per_group.get(g.group_id, 0)) if retries_per_group else 0
-            # 1. global model to each client (via its edge).
-            total_down += down_bytes * (1 + s)  # one edge copy + s client copies
+            # 1. global model to each client (via its edge). The cloud→edge
+            # copy ships once per distinct edge per global round (flow 1) —
+            # groups sharing an edge reuse the edge's cached copy.
+            if g.edge_id not in edges_seen:
+                edges_seen.add(g.edge_id)
+                total_down += down_bytes
+            total_down += down_bytes * s  # s client copies
             # 2. K uploads from each client to the edge (+ resends).
             total_up += up_bytes * (s * group_rounds + retries)
             # 3. K-1 group-model redistributions to each client.

@@ -72,3 +72,40 @@ class TestWallClock:
         # O(3) + 2·H(100) with c2=0.001, c1=0.01: 0.009 + 2·1.0.
         t = simulator.client_compute_s(0, group_size=3, n_i=100, local_rounds=2)
         assert t == pytest.approx(0.001 * 9 + 2 * 0.01 * 100)
+
+
+class TestEmptyRound:
+    """A round where every sampled group faulted out before timing.
+
+    ``round_timing([])`` must report a zero-length round, and
+    ``bottleneck_group`` must say "no bottleneck" (None) instead of
+    raising on ``max()`` of an empty dict.
+    """
+
+    def test_round_timing_empty_groups(self, sim):
+        simulator, _ = sim
+        t = simulator.round_timing([], np.full(12, 50), 2, 1)
+        assert t.total_s == 0.0
+        assert t.compute_s == 0.0
+        assert t.comm_s == 0.0
+        assert t.per_group_s == {}
+
+    def test_bottleneck_group_none_when_empty(self, sim):
+        simulator, _ = sim
+        t = simulator.round_timing([], np.full(12, 50), 2, 1)
+        assert t.bottleneck_group is None
+
+    def test_bottleneck_group_none_on_bare_dataclass(self):
+        from repro.costs.wallclock import RoundTiming
+
+        t = RoundTiming(compute_s=0.0, comm_s=0.0, total_s=0.0, per_group_s={})
+        assert t.bottleneck_group is None
+
+    def test_training_time_with_empty_round(self, sim):
+        """An all-faulted round contributes zero, not an exception."""
+        simulator, _ = sim
+        sizes = np.full(12, 50)
+        groups = [group_of([0, 1, 2])]
+        single = simulator.round_timing(groups, sizes, 1, 1).total_s
+        total = simulator.training_time_s([groups, [], groups], sizes, 1, 1)
+        assert total == pytest.approx(2 * single)

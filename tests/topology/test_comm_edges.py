@@ -1,0 +1,74 @@
+"""Regression tests for cloud→edge download accounting in CommModel.
+
+Flow 1 of Algorithm 1 ships the global model cloud→edge once per distinct
+edge per global round; groups sharing an edge reuse the edge's cached copy.
+The old accounting charged the cloud→edge copy once per *group*, inflating
+download totals whenever two groups lived on the same edge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grouping import Group
+from repro.topology import CommModel, HierarchicalTopology
+
+
+def make_model(payload_factor=1.0):
+    topo = HierarchicalTopology(12, 3)
+    return CommModel.for_model(topo, num_params=1000, payload_factor=payload_factor)
+
+
+def group(gid, edge_id, size):
+    return Group(gid, edge_id, np.arange(size), np.array([10 * size]))
+
+
+class TestEdgeDownloadDedup:
+    def test_shared_edge_ships_cloud_copy_once(self):
+        """Two groups on one edge: exactly one cloud→edge download."""
+        cm = make_model()
+        down = cm.model_bytes
+        K = 3
+        t = cm.round_traffic([group(0, 0, 4), group(1, 0, 5)], group_rounds=K)
+        # one cloud→edge copy + per-client copies: s·K each (initial + K−1
+        # group-model redistributions).
+        assert t.download_bytes == pytest.approx(down * (1 + (4 + 5) * K))
+
+    def test_distinct_edges_ship_one_copy_each(self):
+        cm = make_model()
+        down = cm.model_bytes
+        K = 3
+        t = cm.round_traffic([group(0, 0, 4), group(1, 1, 5)], group_rounds=K)
+        assert t.download_bytes == pytest.approx(down * (2 + (4 + 5) * K))
+
+    def test_shared_vs_distinct_differ_by_exactly_one_copy(self):
+        """The fix changes totals ONLY when groups share an edge, and by
+        exactly one model download."""
+        cm = make_model()
+        shared = cm.round_traffic([group(0, 0, 4), group(1, 0, 5)], 2)
+        split = cm.round_traffic([group(0, 0, 4), group(1, 1, 5)], 2)
+        assert split.download_bytes - shared.download_bytes == pytest.approx(
+            cm.model_bytes
+        )
+        # Upload flows are per-group/per-client, untouched by edge sharing.
+        assert shared.upload_bytes == pytest.approx(split.upload_bytes)
+
+    def test_single_group_unchanged_by_fix(self):
+        """One group: old and new accounting coincide (1 + s·K copies)."""
+        cm = make_model()
+        K = 4
+        t = cm.round_traffic([group(0, 2, 6)], group_rounds=K)
+        assert t.download_bytes == pytest.approx(cm.model_bytes * (1 + 6 * K))
+
+    def test_three_groups_two_edges(self):
+        cm = make_model()
+        groups = [group(0, 0, 3), group(1, 0, 3), group(2, 1, 3)]
+        t = cm.round_traffic(groups, group_rounds=1)
+        assert t.download_bytes == pytest.approx(cm.model_bytes * (2 + 9))
+
+    def test_dedup_is_per_round(self):
+        """training_traffic re-ships the cloud→edge copy every global round
+        (the global model changes between rounds)."""
+        cm = make_model()
+        one = cm.round_traffic([group(0, 0, 4)], 2)
+        two = cm.training_traffic([[group(0, 0, 4)], [group(0, 0, 4)]], 2)
+        assert two.download_bytes == pytest.approx(2 * one.download_bytes)
