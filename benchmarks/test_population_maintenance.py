@@ -1,0 +1,109 @@
+"""Online group maintenance vs full re-partition at population scale.
+
+The point of ``repro.population.OnlineGroupMaintainer``: a single client
+joining, leaving, or drifting costs an O(G·m) moment update, not a
+from-scratch CoV formation over the whole edge. This benchmark measures
+both at |K| = 800 (the paper's §7.4 scalability regime), asserts the
+online path is ≥ 25× faster per membership change, and folds a
+``population`` axis into ``BENCH_hotpaths.json`` (preserving the axes
+written by ``test_hotpaths.py``).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) keeps the same problem size and
+trims repeats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _util import run_once
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.population import OnlineGroupMaintainer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPEATS = 2 if SMOKE else 3
+NUM_CLIENTS = 800
+NUM_CLASSES = 100  # CIFAR-100-style label space
+NUM_EDGES = 4
+OPS = 50 if SMOKE else 200  # churn ops averaged per measurement
+SPEEDUP_FLOOR = 25.0
+OUT_PATH = Path(__file__).parents[1] / "BENCH_hotpaths.json"
+
+
+def _int_label_matrix(n, m, seed=0):
+    rng = np.random.default_rng(seed)
+    props = rng.dirichlet(np.full(m, 0.3), size=n)
+    totals = rng.integers(20, 61, size=n)
+    return np.stack(
+        [rng.multinomial(int(totals[i]), props[i]) for i in range(n)]
+    ).astype(np.int64)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_maintenance():
+    L = _int_label_matrix(NUM_CLIENTS, NUM_CLASSES, seed=NUM_CLIENTS)
+    edges = np.array_split(np.arange(NUM_CLIENTS), NUM_EDGES)
+    edge_of = np.zeros(NUM_CLIENTS, dtype=np.int64)
+    for e, ids in enumerate(edges):
+        edge_of[ids] = e
+    grouper = CoVGrouping(5, 0.5)
+    groups = group_clients_per_edge(grouper, L, edges, rng=0)
+    maint = OnlineGroupMaintainer(grouper, L, edge_of, groups=groups)
+
+    full_s = _best_of(lambda: maint.full_repartition(rng=0))
+
+    op_rng = np.random.default_rng(7)
+    cids = op_rng.choice(NUM_CLIENTS, size=OPS, replace=False)
+
+    def churn_cycle():
+        # One leave + one join + the watchdog pass — a round's worth of
+        # maintenance for a single membership change.
+        for i, cid in enumerate(cids):
+            maint.remove_client(int(cid))
+            maint.insert_client(int(cid))
+            maint.maintain(int(i), round_idx=int(i))
+
+    online_s = _best_of(churn_cycle) / OPS
+    return {
+        "num_clients": NUM_CLIENTS,
+        "classes": NUM_CLASSES,
+        "num_edges": NUM_EDGES,
+        "num_groups": maint.num_groups,
+        "full_repartition_s": full_s,
+        "online_update_s": online_s,
+        "speedup": full_s / online_s,
+    }
+
+
+def test_online_maintenance_beats_full_repartition(benchmark):
+    row = run_once(benchmark, _bench_maintenance)
+
+    print(
+        f"\npopulation maintenance @ |K|={row['num_clients']}: "
+        f"full re-partition {row['full_repartition_s'] * 1e3:.2f} ms, "
+        f"online update {row['online_update_s'] * 1e6:.1f} µs "
+        f"({row['speedup']:.0f}x)"
+    )
+    assert row["speedup"] >= SPEEDUP_FLOOR, row
+
+    # Fold the new axis into the hot-paths report without clobbering the
+    # grouping/secagg axes test_hotpaths.py writes.
+    report = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {
+        "benchmark": "hotpaths"
+    }
+    report["population"] = [row]
+    OUT_PATH.write_text(json.dumps(report, indent=1))
+    print(f"wrote {OUT_PATH}")

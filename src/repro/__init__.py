@@ -111,6 +111,20 @@ from repro.nn import (
     make_resnet_lite,
     save_model,
 )
+from repro.population import (
+    Arrivals,
+    Departures,
+    InitialActive,
+    LabelDrift,
+    OnlineGroupMaintainer,
+    PopulationEngine,
+    PopulationEvent,
+    PopulationModel,
+    PopulationTrace,
+    get_active_population,
+    population_activated,
+    set_active_population,
+)
 from repro.sampling import AggregationMode, GroupSampler, sampling_probabilities
 from repro.secure import (
     BackdoorDetector,
@@ -202,6 +216,19 @@ __all__ = [
     "plan_activated",
     "get_active_plan",
     "set_active_plan",
+    # population
+    "PopulationModel",
+    "PopulationEngine",
+    "PopulationTrace",
+    "PopulationEvent",
+    "OnlineGroupMaintainer",
+    "InitialActive",
+    "Arrivals",
+    "Departures",
+    "LabelDrift",
+    "population_activated",
+    "get_active_population",
+    "set_active_population",
     # costs
     "CostModel",
     "LinearCost",

@@ -135,6 +135,10 @@ def build_method(
         cfg,
         cost_model=cost_model,
         strategy=spec.strategy_factory(),
+        # Hand the trainer its formation context so regroup_every and
+        # population dynamics (config or ambient) can re-form groups.
+        grouper=grouper,
+        edge_assignment=edge_assignment,
         label=name,
         telemetry=telemetry,
         parallel=parallel,

@@ -31,19 +31,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["capture_state", "restore_state", "config_fingerprint"]
 
 
-def config_fingerprint(config: "TrainerConfig") -> dict:
+def config_fingerprint(config: "TrainerConfig", grouper=None) -> dict:
     """JSON-safe summary of the config, stored in the checkpoint header.
 
     Used to reject resuming a checkpoint into a trainer whose
     hyperparameters diverged — a silent way to lose bit-identical replay.
+    ``grouper`` folds the trainer's grouping engine into the fingerprint
+    (its repr carries MinGS/MaxCoV/engine/cov_metric), so a resume under a
+    different grouping — or, via the config's ``population`` field, a
+    different population schedule — is rejected loudly instead of
+    silently diverging.
     """
     fp: dict = {}
     for f in fields(config):
         value = getattr(config, f.name)
         if value is None or isinstance(value, (bool, int, float, str)):
             fp[f.name] = value
-        else:  # AggregationMode enum, FaultPlan — stable reprs
+        else:  # AggregationMode enum, FaultPlan, PopulationModel — stable reprs
             fp[f.name] = getattr(value, "value", None) or repr(value)
+    fp["grouper"] = None if grouper is None else repr(grouper)
     return fp
 
 
@@ -65,6 +71,11 @@ def capture_state(trainer: "GroupFELTrainer") -> dict:
         },
         "fault_trace": list(trainer.fault_trace.events),
         "compressor": copy.deepcopy(trainer.compressor),
+        "population": (
+            trainer.population_engine.state_dict()
+            if trainer.population_engine is not None
+            else None
+        ),
     }
 
 
@@ -100,3 +111,18 @@ def restore_state(trainer: "GroupFELTrainer", state: dict) -> None:
     trace.extend(list(state["fault_trace"]))
     trainer.fault_trace = trace
     trainer.compressor = state["compressor"]
+    population = state.get("population")
+    if trainer.population_engine is not None:
+        if population is None:
+            raise ValueError(
+                "checkpoint has no population state but this trainer runs "
+                "population dynamics — it was written by a static-population "
+                "run"
+            )
+        trainer.population_engine.load_state_dict(population, trainer.groups)
+    elif population is not None:
+        raise ValueError(
+            "checkpoint carries population state but this trainer has no "
+            "population model — construct it with the same "
+            "TrainerConfig.population (and grouper/edge_assignment)"
+        )

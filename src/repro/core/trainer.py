@@ -15,6 +15,7 @@ from __future__ import annotations
 import copy
 import itertools
 import os
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,12 @@ from repro.parallel import (
     get_active as get_active_parallel,
     worker_state,
 )
+from repro.population import (
+    PopulationEngine,
+    PopulationModel,
+    PopulationTrace,
+    get_active_population,
+)
 from repro.rng import derive_seed, make_rng
 from repro.sampling.probability import WEIGHT_FUNCTIONS
 from repro.sampling.sampler import AggregationMode, GroupSampler
@@ -68,6 +75,12 @@ class TrainerConfig:
     (the CLI grammar, e.g. ``"dropout:0.2,straggler:0.1:2.0"``) — a string
     is parsed with a plan seed derived from ``seed``, so the whole faulted
     run replays from the one config.
+
+    ``population`` accepts a :class:`repro.population.PopulationModel` or a
+    spec string (e.g. ``"start:0.7,join:1.0,leave:0.02,drift:0.1:0.4"``)
+    scheduling client churn and label drift; the trainer then needs its
+    ``grouper=``/``edge_assignment=`` parameters so groups can be
+    maintained online as the population evolves.
 
     ``checkpoint_every`` sets the auto-save cadence (in global rounds) used
     when the trainer has a checkpoint directory (its ``checkpoint_dir=``
@@ -95,6 +108,7 @@ class TrainerConfig:
     client_dropout_prob: float = 0.0
     parallel_backend: str = "serial"
     faults: FaultPlan | str | None = None
+    population: PopulationModel | str | None = None
     checkpoint_every: int | None = None
     seed: int = 0
 
@@ -146,6 +160,17 @@ class TrainerConfig:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan or spec string, got {self.faults!r}"
+            )
+        if isinstance(self.population, str):
+            self.population = PopulationModel.from_spec(
+                self.population, seed=derive_seed(self.seed, "population")
+            )
+        if self.population is not None and not isinstance(
+            self.population, PopulationModel
+        ):
+            raise TypeError(
+                f"population must be a PopulationModel or spec string, "
+                f"got {self.population!r}"
             )
 
 
@@ -362,6 +387,34 @@ class GroupFELTrainer:
         #: the deterministic-replay fingerprint)
         self.fault_trace = FaultTrace()
 
+        #: resolved population model: the config's, else the ambient one
+        #: (see ``repro.population.population_activated``), else None. An
+        #: empty model (no dynamics) counts as no model.
+        population = (
+            self.config.population
+            if self.config.population is not None
+            else get_active_population()
+        )
+        self.population: PopulationModel | None = population if population else None
+        if self.population is not None and (
+            grouper is None or edge_assignment is None
+        ):
+            if self.config.population is not None:
+                raise ValueError(
+                    "population dynamics require grouper and edge_assignment "
+                    "(online group maintenance re-forms groups as clients "
+                    "churn)"
+                )
+            # Ambient model, but this trainer cannot maintain groups —
+            # skip rather than silently corrupt the static partition.
+            warnings.warn(
+                "ambient population model ignored: trainer has no "
+                "grouper/edge_assignment",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.population = None
+
         self.rng = make_rng(self.config.seed)
         self.model: Model = model_fn()
         self.optimizer = SGD(
@@ -376,6 +429,22 @@ class GroupFELTrainer:
             telemetry=self.telemetry,
         )
         self.history = TrainingHistory(label=label)
+        #: population engine (None for a static population): applies churn
+        #: and drift at round boundaries, maintains the groups online, and
+        #: records the replayable population trace.
+        self.population_engine: PopulationEngine | None = None
+        if self.population is not None:
+            self.population_engine = PopulationEngine(
+                self.population,
+                fed,
+                grouper,
+                edge_assignment,
+                self.groups,
+                telemetry=self.telemetry,
+            )
+            # The model's start fraction may shrink the initial partition.
+            self.groups = self.population_engine.groups
+            self.history.extra["population_active"] = []
         self.sampler = self._make_sampler()
         self.secure_aggregator = (
             SecureAggregator(
@@ -562,12 +631,27 @@ class GroupFELTrainer:
             telemetry=self.telemetry,
         )
 
+    @property
+    def population_trace(self) -> PopulationTrace:
+        """Every population event so far (empty for a static population);
+        see ``PopulationTrace.signature`` for the replay fingerprint."""
+        if self.population_engine is not None:
+            return self.population_engine.trace
+        return PopulationTrace()
+
     def _regroup(self) -> None:
         """Re-run group formation (random seeds make new groupings differ)."""
         assert self.grouper is not None and self.edge_assignment is not None
-        self.groups = group_clients_per_edge(
-            self.grouper, self.fed.L, self.edge_assignment, rng=self.rng.spawn(1)[0]
-        )
+        if self.population_engine is not None:
+            # Regroup only the *active* population — the full-pool path
+            # below would resurrect departed clients.
+            self.population_engine.force_repartition(self.round_idx)
+            self.groups = self.population_engine.groups
+        else:
+            self.groups = group_clients_per_edge(
+                self.grouper, self.fed.L, self.edge_assignment,
+                rng=self.rng.spawn(1)[0],
+            )
         self.sampler = self._make_sampler()
 
     # ------------------------------------------------------------------ faults
@@ -672,6 +756,24 @@ class GroupFELTrainer:
         """Execute one global round (Lines 6–15); returns its cost."""
         tel = self.telemetry
         with tel.span("round", index=self.round_idx):
+            if self.population_engine is not None:
+                with tel.span("population", index=self.round_idx):
+                    pop_step = self.population_engine.step(self.round_idx)
+                if pop_step.groups_changed:
+                    # Membership or counts changed: sampling probabilities
+                    # and the Eq. (4) weights are pure functions of the
+                    # groups, so rebuild the sampler — and only then.
+                    self.groups = self.population_engine.groups
+                    self.sampler = self._make_sampler()
+                if pop_step.data_changed and self._pmap.backend == "process":
+                    # Label drift mutated client shards; pool workers hold
+                    # pickled copies and must be re-shipped the new data.
+                    self._pmap.register_worker_state(
+                        self._worker_token, self._worker_context()
+                    )
+                self.history.extra["population_active"].append(
+                    self.population_engine.num_active
+                )
             with tel.span("sample"):
                 selected, weights = self.sampler.sample()
             round_events: list[FaultEvent] = []
@@ -783,7 +885,7 @@ class GroupFELTrainer:
         meta = {
             "label": self.label,
             "round_idx": self.round_idx,
-            "config": config_fingerprint(self.config),
+            "config": config_fingerprint(self.config, grouper=self.grouper),
         }
         with tel.span("checkpoint_save", round=self.round_idx):
             state = capture_state(self)
@@ -826,7 +928,7 @@ class GroupFELTrainer:
             header, state = read_checkpoint(path)
             if strict:
                 saved = header.get("config")
-                current = config_fingerprint(self.config)
+                current = config_fingerprint(self.config, grouper=self.grouper)
                 if saved is not None and saved != current:
                     diverged = sorted(
                         k

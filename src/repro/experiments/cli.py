@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table1 --scale paper
     python -m repro.experiments fig7 --telemetry trace.jsonl
     python -m repro.experiments fig9 --faults dropout:0.2,straggler:0.1:2.0
+    python -m repro.experiments fig9 --population start:0.8,join:0.5,leave:0.02
     python -m repro.experiments fig9 --parallel process:4
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9 --resume
@@ -22,6 +23,7 @@ from contextlib import ExitStack
 from repro.checkpoint import CheckpointPolicy, checkpointing_activated
 from repro.faults import FaultPlan, plan_activated
 from repro.parallel import ParallelMap, activated as parallel_activated
+from repro.population import PopulationModel, population_activated
 from repro.telemetry import Telemetry, activated
 
 from repro.experiments.figures import (
@@ -80,6 +82,16 @@ def main(argv: list[str] | None = None) -> int:
         "comma-separated name:prob[:param][@phase] terms, e.g. "
         "'dropout:0.2,straggler:0.1:2.0,loss:0.1,groupfail:0.05' "
         "(see repro.faults.FaultPlan.from_spec)",
+    )
+    parser.add_argument(
+        "--population",
+        metavar="SPEC",
+        default=None,
+        help="run every trainer the target constructs over a dynamic client "
+        "population: comma-separated start:frac / join:rate / leave:prob / "
+        "drift:prob[:fraction][:rho][@mode] terms, e.g. "
+        "'start:0.8,join:0.5,leave:0.02,drift:0.1:0.3@step' "
+        "(see repro.population.PopulationModel.from_spec)",
     )
     parser.add_argument(
         "--parallel",
@@ -165,6 +177,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"bad --faults spec: {exc}", file=sys.stderr)
             return 2
 
+    population_model = None
+    if args.population:
+        # Fail on a malformed spec *before* the (possibly long) run.
+        try:
+            population_model = PopulationModel.from_spec(args.population, seed=args.seed)
+        except ValueError as exc:
+            print(f"bad --population spec: {exc}", file=sys.stderr)
+            return 2
+
     telemetry = None
     if args.telemetry:
         # Fail on an unwritable trace path *before* the (possibly long) run,
@@ -180,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
         telemetry.meta.update({"scale": args.scale or "fast", "seed": args.seed})
         if args.faults:
             telemetry.meta["faults"] = args.faults
+        if args.population:
+            telemetry.meta["population"] = args.population
 
     # Ambient activation: every trainer the generator constructs picks up
     # the telemetry instance / fault plan / shared worker pool without the
@@ -189,6 +212,8 @@ def main(argv: list[str] | None = None) -> int:
             stack.enter_context(activated(telemetry))
         if fault_plan is not None:
             stack.enter_context(plan_activated(fault_plan))
+        if population_model is not None:
+            stack.enter_context(population_activated(population_model))
         if pmap is not None:
             if telemetry is not None:
                 pmap.telemetry = telemetry

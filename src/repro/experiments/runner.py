@@ -25,6 +25,7 @@ def run_method(
     max_cov: float | None = None,
     telemetry=None,
     faults=None,
+    population=None,
     parallel: ParallelMap | None = None,
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
@@ -47,11 +48,21 @@ def run_method(
     ``resume_from`` (a checkpoint file, or a directory whose latest
     checkpoint is taken) restores complete trainer state before running, so
     the returned history is bit-identical to the uninterrupted run's.
+
+    ``population`` (a :class:`repro.population.PopulationModel` or spec
+    string) schedules client churn and label drift; omit it to use the
+    config's model, falling back to the ambient one (see
+    ``repro.population.population_activated``). Note that label drift
+    mutates client shards in place — sweeping several methods over *one*
+    workload compounds the mutations; build a fresh workload per method
+    for drift studies.
     """
     s = workload.scale
     cfg = workload.trainer_config
     if faults is not None:
         cfg = replace(cfg, faults=faults)
+    if population is not None:
+        cfg = replace(cfg, population=population)
     trainer = build_method(
         name,
         workload.model_fn,
@@ -81,6 +92,7 @@ def run_methods(
     cost_budget: float | None = None,
     telemetry=None,
     faults=None,
+    population=None,
     parallel: ParallelMap | None = None,
 ) -> dict[str, TrainingHistory]:
     """Run several methods over the same workload (same data, same budget).
@@ -112,6 +124,7 @@ def run_methods(
                 cost_budget=cost_budget,
                 telemetry=telemetry,
                 faults=faults,
+                population=population,
                 parallel=parallel,
             )
             for name in names
@@ -130,6 +143,7 @@ def run_combo(
     cost_budget: float | None = None,
     telemetry=None,
     faults=None,
+    population=None,
     parallel: ParallelMap | None = None,
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
@@ -144,6 +158,8 @@ def run_combo(
     cfg = replace(workload.trainer_config, sampling_method=sampling_method)
     if faults is not None:
         cfg = replace(cfg, faults=faults)
+    if population is not None:
+        cfg = replace(cfg, population=population)
     trainer = GroupFELTrainer(
         workload.model_fn,
         workload.fed,
@@ -151,6 +167,8 @@ def run_combo(
         cfg,
         cost_model=workload.cost_model,
         strategy=PlainSGDStrategy(),
+        grouper=grouper,
+        edge_assignment=workload.edge_assignment,
         label=label,
         telemetry=telemetry,
         parallel=parallel,

@@ -135,7 +135,20 @@ class CoVGrouping(Grouper):
     ) -> list[Group]:
         rng = make_rng(rng)
         L = np.asarray(label_matrix, dtype=np.float64)
+        if L.ndim != 2:
+            raise ValueError(
+                f"label_matrix must be 2-D (clients × classes), got shape "
+                f"{L.shape}"
+            )
         n = L.shape[0]
+        # An empty edge forms zero groups — nothing violates constraint (31).
+        if 0 < n < self.min_group_size:
+            raise ValueError(
+                f"cannot form groups from {n} client(s) with "
+                f"min_group_size={self.min_group_size}: every group needs at "
+                "least MinGS members (constraint 31) — lower min_group_size "
+                "or supply more clients"
+            )
         client_ids = np.asarray(client_ids, dtype=np.int64)
         if client_ids.shape[0] != n:
             raise ValueError("client_ids length must match label_matrix rows")

@@ -1,0 +1,363 @@
+"""`PopulationModel` — seeded churn and label-drift schedules, pure decisions.
+
+The dynamic-population twin of :class:`repro.faults.FaultPlan`: every
+decision ("does client c leave in round t?", "which samples does drift
+relabel?") is computed by deriving a dedicated RNG from the model seed and
+the stable identifiers of the site::
+
+    rng = make_rng(derive_seed(seed, kind, index, round, client_id))
+
+so decisions are pure functions of *where* they are asked, never of *when*
+or *in which order*. That buys deterministic replay (same seed ⇒ same
+population trace, bit for bit), backend independence (serial / thread /
+process trainers see identical populations), and composability (each
+dynamic draws from a disjoint stream).
+
+A model is picklable (seed + frozen dynamic dataclasses); the correlated-
+drift memo cache is process-local and dropped on pickle — it is a pure
+function of the seed and rebuilds identically anywhere.
+
+Spec grammar (the CLI's ``--population`` flag)
+----------------------------------------------
+Comma-separated ``name:value[:param...][@mode]`` terms::
+
+    start:0.6                  60% of the client pool is active at round 0
+    join:1.5                   ~Poisson(1.5) dormant clients join per round
+    leave:0.02                 2% per-client departure chance per round
+    drift:0.1                  step drift: 10%/round chance a client
+                               relabels 50% of its samples
+    drift:0.1:0.3              ... relabeling 30% of its samples
+    drift:0.05@linear          every round relabel 5% of samples by a
+                               fixed class rotation (slow drift)
+    drift:0.05:0.3:0.9@corr    correlated episodes: enter drift w.p. 0.05,
+                               persist w.p. 0.9, relabel 30%/round inside
+
+e.g. ``--population start:0.7,join:1.0,leave:0.03,drift:0.1:0.4``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import derive_seed, make_rng
+
+__all__ = [
+    "InitialActive",
+    "Arrivals",
+    "Departures",
+    "LabelDrift",
+    "PopulationModel",
+    "DRIFT_MODES",
+    "get_active_population",
+    "set_active_population",
+    "population_activated",
+]
+
+DRIFT_MODES = ("step", "linear", "corr")
+
+
+@dataclass(frozen=True)
+class InitialActive:
+    """``start:frac`` — the seeded fraction of the pool active at round 0."""
+
+    frac: float
+    kind = "start"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.frac <= 1.0:
+            raise ValueError(f"start fraction must be in (0, 1], got {self.frac}")
+
+
+@dataclass(frozen=True)
+class Arrivals:
+    """``join:rate`` — Poisson(rate) dormant clients join per round."""
+
+    rate: float
+    kind = "join"
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"join rate must be >= 0, got {self.rate}")
+
+
+@dataclass(frozen=True)
+class Departures:
+    """``leave:prob`` — per-client, per-round departure probability."""
+
+    prob: float
+    kind = "leave"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob < 1.0:
+            raise ValueError(f"leave prob must be in [0, 1), got {self.prob}")
+
+
+@dataclass(frozen=True)
+class LabelDrift:
+    """``drift:prob[:fraction][:rho][@mode]`` — label-distribution drift.
+
+    ``step`` (default): with probability ``prob`` per round, relabel
+    ``fraction`` of the client's samples by a random class rotation.
+    ``linear``: every round, relabel ``prob`` of the samples (slow
+    continuous rotation; ``fraction``/``rho`` unused).
+    ``corr``: a 2-state Markov chain per client — enter a drift episode
+    w.p. ``prob``, persist w.p. ``rho``; while inside, relabel
+    ``fraction``/round (FedCTTA-style temporally correlated shift).
+    """
+
+    prob: float
+    fraction: float = 0.5
+    rho: float = 0.8
+    mode: str = "step"
+    kind = "drift"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"drift prob must be in [0, 1], got {self.prob}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"drift fraction must be in (0, 1], got {self.fraction}"
+            )
+        if not 0.0 <= self.rho <= 1.0:
+            raise ValueError(f"drift rho must be in [0, 1], got {self.rho}")
+        if self.mode not in DRIFT_MODES:
+            raise ValueError(
+                f"drift mode must be one of {DRIFT_MODES}, got {self.mode!r}"
+            )
+
+
+_DYNAMIC_TYPES = (InitialActive, Arrivals, Departures, LabelDrift)
+
+
+class PopulationModel:
+    """A seeded bundle of population dynamics applied across a run.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the population schedule — independent of the
+        trainer's seed so the *same* population can be replayed against
+        different training randomness (and vice versa).
+    dynamics:
+        Any mix of :class:`InitialActive`, :class:`Arrivals`,
+        :class:`Departures`, :class:`LabelDrift`. Multiple dynamics of
+        the same kind compose (arrival rates add, departure/drift
+        chances apply independently).
+    """
+
+    def __init__(self, seed: int = 0, dynamics: list | tuple = ()):
+        self.seed = int(seed)
+        self.dynamics = list(dynamics)
+        for dyn in self.dynamics:
+            if not isinstance(dyn, _DYNAMIC_TYPES):
+                raise TypeError(f"not a population dynamic: {dyn!r}")
+        #: memo of correlated-drift chain states, keyed (index, client);
+        #: process-local (a pure function of the seed — see __getstate__)
+        self._corr_cache: dict[tuple[int, int], list[bool]] = {}
+
+    # ------------------------------------------------------------- inspection
+    def of_kind(self, kind: str) -> list:
+        return [d for d in self.dynamics if d.kind == kind]
+
+    @property
+    def has_churn(self) -> bool:
+        return bool(self.of_kind("join") or self.of_kind("leave"))
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.of_kind("drift"))
+
+    def __bool__(self) -> bool:
+        return bool(self.dynamics)
+
+    def __repr__(self) -> str:
+        return f"PopulationModel(seed={self.seed}, dynamics={self.dynamics!r})"
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_corr_cache"] = {}  # rebuilds identically from the seed
+        return state
+
+    # -------------------------------------------------------------- decisions
+    def _rng(self, kind: str, index: int, *key: int) -> np.random.Generator:
+        """RNG unique to (dynamic, site) — the pure core."""
+        return make_rng(derive_seed(self.seed, kind, index, *key))
+
+    def _draw(self, kind: str, index: int, *key: int) -> float:
+        return float(self._rng(kind, index, *key).random())
+
+    def initial_active(self, pool_size: int) -> np.ndarray:
+        """Boolean mask of the clients active at round 0 (≥ 1 active).
+
+        When several ``start`` terms are given the smallest fraction
+        wins (the most restrictive initial population).
+        """
+        starts = self.of_kind("start")
+        mask = np.ones(pool_size, dtype=bool)
+        if not starts or pool_size == 0:
+            return mask
+        frac = min(d.frac for d in starts)
+        idx = next(i for i, d in enumerate(self.dynamics) if d.kind == "start")
+        draws = self._rng("start", idx).random(pool_size)
+        mask = draws < frac
+        if not mask.any():
+            mask[int(np.argmin(draws))] = True
+        return mask
+
+    def arrivals(self, round_idx: int) -> int:
+        """How many dormant clients join this round (Poisson per dynamic)."""
+        total = 0
+        for idx, dyn in enumerate(self.dynamics):
+            if dyn.kind != "join" or dyn.rate <= 0:
+                continue
+            total += int(self._rng("join", idx, round_idx).poisson(dyn.rate))
+        return total
+
+    def departs(self, round_idx: int, client_id: int) -> bool:
+        """Does this active client leave at the start of this round?"""
+        for idx, dyn in enumerate(self.dynamics):
+            if dyn.kind != "leave":
+                continue
+            if self._draw("leave", idx, round_idx, client_id) < dyn.prob:
+                return True
+        return False
+
+    def drift_decisions(self, round_idx: int, client_id: int) -> list[tuple[int, LabelDrift]]:
+        """The drift dynamics striking this client this round."""
+        fired: list[tuple[int, LabelDrift]] = []
+        for idx, dyn in enumerate(self.dynamics):
+            if dyn.kind != "drift":
+                continue
+            if dyn.mode == "linear":
+                hit = dyn.prob > 0
+            elif dyn.mode == "corr":
+                hit = self._corr_state(idx, dyn, round_idx, client_id)
+            else:  # step
+                hit = self._draw("drift", idx, round_idx, client_id) < dyn.prob
+            if hit:
+                fired.append((idx, dyn))
+        return fired
+
+    def _corr_state(self, idx: int, dyn: LabelDrift, round_idx: int, client_id: int) -> bool:
+        """2-state Markov chain, computed recursively from round 0.
+
+        Memoized per (dynamic, client) so a T-round run stays O(T); the
+        cache is dropped on pickle and rebuilt identically anywhere
+        because each transition draw is keyed by its own round.
+        """
+        chain = self._corr_cache.setdefault((idx, client_id), [])
+        while len(chain) <= round_idx:
+            t = len(chain)
+            inside = chain[t - 1] if t else False
+            p = dyn.rho if inside else dyn.prob
+            chain.append(self._draw("drift-state", idx, t, client_id) < p)
+        return chain[round_idx]
+
+    def drift_sample(
+        self,
+        index: int,
+        dyn: LabelDrift,
+        round_idx: int,
+        client_id: int,
+        n_samples: int,
+        num_classes: int,
+    ) -> tuple[int, int, np.ndarray]:
+        """The mutation a firing drift applies: (count, class offset, indices).
+
+        Pure in (seed, index, round, client): checkpoint resume re-derives
+        the exact same relabeling from the recorded event site. The
+        expected relabel count ``x`` (``fraction``·n for step/corr,
+        ``prob``·n for linear) is realized as ⌊x⌋ plus a Bernoulli(frac(x))
+        extra sample, so small shards still drift at the configured rate.
+        """
+        rng = self._rng("drift-apply", index, round_idx, client_id)
+        x = (dyn.prob if dyn.mode == "linear" else dyn.fraction) * n_samples
+        num = int(x) + int(rng.random() < (x - int(x)))
+        offset = int(rng.integers(1, num_classes)) if num_classes > 1 else 0
+        if num <= 0 or offset == 0 or n_samples == 0:
+            return 0, 0, np.empty(0, dtype=np.int64)
+        indices = rng.choice(n_samples, size=min(num, n_samples), replace=False)
+        return int(indices.size), offset, indices.astype(np.int64)
+
+    # ------------------------------------------------------------------ spec
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "PopulationModel":
+        """Parse the CLI grammar (see module docstring) into a model."""
+        dynamics: list = []
+        for raw in spec.split(","):
+            term = raw.strip()
+            if not term:
+                continue
+            mode = None
+            if "@" in term:
+                term, mode = term.rsplit("@", 1)
+            parts = term.split(":")
+            name = parts[0].lower()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"population term {raw!r} needs a value, e.g. 'leave:0.02'"
+                )
+            try:
+                value = float(parts[1])
+            except ValueError:
+                raise ValueError(f"bad value in population term {raw!r}") from None
+            if mode is not None and name != "drift":
+                raise ValueError(
+                    f"population term {raw!r}: only drift takes an @mode"
+                )
+            try:
+                if name == "start":
+                    dynamics.append(InitialActive(frac=value))
+                elif name == "join":
+                    dynamics.append(Arrivals(rate=value))
+                elif name == "leave":
+                    dynamics.append(Departures(prob=value))
+                elif name == "drift":
+                    kwargs: dict = {"prob": value, "mode": mode or "step"}
+                    if len(parts) > 2:
+                        kwargs["fraction"] = float(parts[2])
+                    if len(parts) > 3:
+                        kwargs["rho"] = float(parts[3])
+                    dynamics.append(LabelDrift(**kwargs))
+                else:
+                    raise ValueError(
+                        f"unknown population kind {name!r}; known: start, "
+                        "join, leave, drift"
+                    )
+            except ValueError as exc:
+                raise ValueError(f"bad population term {raw!r}: {exc}") from None
+        if not dynamics:
+            raise ValueError(f"population spec {spec!r} defines no dynamics")
+        return cls(seed=seed, dynamics=dynamics)
+
+
+#: Ambient model (mirrors ``repro.faults``'s activation pattern): the CLI
+#: installs a model here so trainers buried inside figure generators pick
+#: it up without every generator growing a ``population=`` parameter.
+_active_population: PopulationModel | None = None
+
+
+def get_active_population() -> PopulationModel | None:
+    """The ambient population model, or None for a static population."""
+    return _active_population
+
+
+def set_active_population(model: PopulationModel | None) -> PopulationModel | None:
+    """Install ``model`` ambiently; returns the previous model."""
+    global _active_population
+    previous = _active_population
+    _active_population = model
+    return previous
+
+
+@contextmanager
+def population_activated(model: PopulationModel):
+    """Install ``model`` ambiently for the duration of the block."""
+    previous = set_active_population(model)
+    try:
+        yield model
+    finally:
+        set_active_population(previous)

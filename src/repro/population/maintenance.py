@@ -1,0 +1,494 @@
+"""Online CoV-group maintenance over incremental S1/S2 moments.
+
+PR 5's incremental grouping engine made *forming* groups cheap by scoring
+candidates from the running moments S1 = Σ_j c_j and S2 = Σ_j c_j² of the
+group's label counts. This module keeps those moments alive *after*
+formation so a dynamic population never needs a from-scratch re-partition
+for a single membership change:
+
+* :meth:`OnlineGroupMaintainer.insert_client` — O(G·m) greedy placement
+  into the CoV-minimizing group of the client's edge;
+* :meth:`OnlineGroupMaintainer.remove_client` /
+  :meth:`~OnlineGroupMaintainer.update_client` — O(m) moment updates;
+* :meth:`OnlineGroupMaintainer.migrate_client` — remove + best re-insert.
+
+Label counts are integers, so every moment update is *exact* (int64 dot
+products folded into Python ints), and insert placement compares candidate
+scores as exact rational numbers — CoV² = m·S2/S1² − 1 and
+eq27² = S2/S1 − S1/m are both monotone in an integer fraction — so
+placement never depends on float rounding and replays bit-identically on
+any backend.
+
+A MaxCoV-degradation watchdog (:meth:`~OnlineGroupMaintainer.maintain`)
+runs after each round's population events: groups whose membership or
+counts changed ("dirty") and now violate the size floor or exceed
+``degrade_factor × MaxCoV`` are re-grouped *scoped* — only the degraded
+groups' clients are re-partitioned (FlexCFL-style rescheduling), with
+undersized leftovers folded into surviving groups as migrations — falling
+back to a full re-partition when the degraded set is the majority. Static
+partitions are never churned: the watchdog reacts to changes, not to
+standing CoV values, so it cannot thrash.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from fractions import Fraction
+
+import numpy as np
+
+from repro.grouping.base import Group, Grouper
+from repro.grouping.cov import cov_of_counts, cov_paper_eq27
+from repro.population.trace import PopulationEvent
+from repro.rng import make_rng, spawn, spawn_many
+from repro.telemetry import Telemetry, resolve as resolve_telemetry
+
+__all__ = ["OnlineGroupMaintainer"]
+
+
+class _GroupState:
+    """One maintained group: members + label counts + exact moments.
+
+    ``s1``/``s2`` are Python ints (arbitrary precision), updated in O(m)
+    per membership/count change; ``dirty`` marks the group for the next
+    watchdog pass.
+    """
+
+    __slots__ = ("edge_id", "members", "counts", "s1", "s2", "dirty")
+
+    def __init__(self, edge_id: int, num_classes: int):
+        self.edge_id = int(edge_id)
+        self.members: list[int] = []
+        self.counts = np.zeros(num_classes, dtype=np.int64)
+        self.s1 = 0
+        self.s2 = 0
+        self.dirty = False
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class OnlineGroupMaintainer:
+    """Keep a CoV-grouped partition valid under churn and drift.
+
+    Parameters
+    ----------
+    grouper:
+        The formation algorithm used for (re-)partitions. Its
+        ``min_group_size`` / ``max_cov`` / ``cov_metric`` attributes (the
+        :class:`repro.grouping.CoVGrouping` knobs) drive placement and the
+        watchdog; groupers without them fall back to permissive defaults.
+    label_matrix:
+        The live (clients × classes) integer label matrix L — held by
+        reference, *not* copied: :meth:`update_client` writes drifted
+        counts back into it so every consumer (groupers, samplers) sees
+        one consistent view.
+    edge_of_client:
+        Edge-server id per pool client; groups only ever form within one
+        edge (Algorithm 1's per-edge formation).
+    groups:
+        The current partition to adopt (e.g. from
+        :func:`repro.grouping.group_clients_per_edge`).
+    degrade_factor:
+        Watchdog tolerance: a dirty group triggers re-grouping when its
+        CoV exceeds ``degrade_factor × max_cov`` (hysteresis above the
+        formation target so single-client noise does not thrash).
+    """
+
+    def __init__(
+        self,
+        grouper: Grouper,
+        label_matrix: np.ndarray,
+        edge_of_client: np.ndarray,
+        groups: list[Group] | tuple = (),
+        telemetry: Telemetry | None = None,
+        degrade_factor: float = 1.25,
+    ):
+        if label_matrix.ndim != 2:
+            raise ValueError(
+                f"label_matrix must be 2-D (clients × classes), got shape "
+                f"{label_matrix.shape}"
+            )
+        if not np.issubdtype(label_matrix.dtype, np.integer):
+            raise ValueError(
+                "online maintenance needs an integer label matrix (exact "
+                f"moments), got dtype {label_matrix.dtype}"
+            )
+        if degrade_factor < 1.0:
+            raise ValueError(
+                f"degrade_factor must be >= 1, got {degrade_factor}"
+            )
+        self.grouper = grouper
+        self.L = label_matrix
+        self.edge_of_client = np.asarray(edge_of_client, dtype=np.int64)
+        self.num_edges = (
+            int(self.edge_of_client.max()) + 1 if self.edge_of_client.size else 1
+        )
+        self.telemetry = resolve_telemetry(telemetry)
+        self.degrade_factor = float(degrade_factor)
+        self.min_group_size = int(
+            getattr(grouper, "min_group_size", getattr(grouper, "group_size", 1))
+        )
+        self.max_cov = float(getattr(grouper, "max_cov", math.inf))
+        self.cov_metric = getattr(grouper, "cov_metric", "cov")
+        self._states: list[_GroupState] = []
+        self.group_of: dict[int, _GroupState] = {}
+        if groups:
+            self.reset_from_groups(groups)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def num_groups(self) -> int:
+        return len(self._states)
+
+    def active_ids(self) -> list[int]:
+        """The maintained client ids, ascending."""
+        return sorted(self.group_of)
+
+    def moments(self) -> list[tuple[int, int]]:
+        """(S1, S2) per group — exposed for exactness tests."""
+        return [(s.s1, s.s2) for s in self._states]
+
+    def group_index(self, client_id: int) -> int:
+        """Current group position of a maintained client."""
+        return self._states.index(self.group_of[client_id])
+
+    def cov_of(self, state_index: int) -> float:
+        """The configured metric of one group's current counts."""
+        metric = cov_paper_eq27 if self.cov_metric == "eq27" else cov_of_counts
+        return float(metric(self._states[state_index].counts))
+
+    def groups(self) -> list[Group]:
+        """Materialize the maintained partition as renumbered Groups."""
+        return [
+            Group(
+                group_id=gid,
+                edge_id=s.edge_id,
+                members=np.array(s.members, dtype=np.int64),
+                label_counts=s.counts.copy(),
+            )
+            for gid, s in enumerate(self._states)
+        ]
+
+    def reset_from_groups(self, groups: list[Group] | tuple, strict: bool = True) -> None:
+        """Adopt an externally formed partition (initial groups, restore).
+
+        With ``strict`` every group's stored ``label_counts`` must equal
+        the sum of its members' live L rows — the guard that catches
+        resuming drifted populations over an already-mutated dataset
+        (drift replay would double-apply).
+        """
+        states: list[_GroupState] = []
+        owner: dict[int, _GroupState] = {}
+        for g in groups:
+            s = _GroupState(g.edge_id, self.L.shape[1])
+            s.members = [int(c) for c in g.members]
+            s.counts = self.L[np.asarray(g.members, dtype=np.int64)].sum(
+                axis=0, dtype=np.int64
+            )
+            if strict and not np.array_equal(s.counts, g.label_counts):
+                raise ValueError(
+                    f"group {g.group_id} label_counts disagree with the live "
+                    "label matrix — the dataset was mutated outside this "
+                    "maintainer (e.g. resuming a drifted population over "
+                    "non-pristine client data)"
+                )
+            s.s1 = int(s.counts.sum())
+            s.s2 = int(s.counts @ s.counts)
+            for cid in s.members:
+                if cid in owner:
+                    raise ValueError(f"client {cid} appears in two groups")
+                owner[cid] = s
+            states.append(s)
+        self._states = states
+        self.group_of = owner
+
+    # ------------------------------------------------------------ primitives
+    def _score(self, s1: int, s2: int) -> tuple[int, Fraction]:
+        """Exact rational ordering key of a (S1, S2) candidate.
+
+        cov:  CoV² = m·S2/S1² − 1  → order by S2/S1².
+        eq27: eq27² = S2/S1 − S1/m → order by (m·S2 − S1²)/(m·S1).
+        Empty groups (S1 = 0) sort last (CoV = ∞).
+        """
+        if s1 <= 0:
+            return (1, Fraction(0))
+        m = self.L.shape[1]
+        if self.cov_metric == "eq27":
+            return (0, Fraction(m * s2 - s1 * s1, m * s1))
+        return (0, Fraction(s2, s1 * s1))
+
+    def _insert_score(self, s: _GroupState, row: np.ndarray, rsum: int, rq: int):
+        s1c = s.s1 + rsum
+        s2c = s.s2 + 2 * int(s.counts @ row) + rq
+        return self._score(s1c, s2c)
+
+    def _attach(self, s: _GroupState, cid: int, row: np.ndarray) -> None:
+        s.s1 += int(row.sum())
+        s.s2 += 2 * int(s.counts @ row) + int(row @ row)
+        s.counts += row
+        s.members.append(cid)
+        s.dirty = True
+        self.group_of[cid] = s
+
+    def _detach(self, cid: int) -> _GroupState:
+        s = self.group_of.pop(cid)
+        row = self.L[cid]
+        s.members.remove(cid)
+        s.counts -= row
+        s.s1 -= int(row.sum())
+        s.s2 -= 2 * int(s.counts @ row) + int(row @ row)
+        s.dirty = True
+        return s
+
+    def _best_target(
+        self, row: np.ndarray, edge_id: int, exclude: _GroupState | None = None
+    ) -> _GroupState | None:
+        cands = [
+            s for s in self._states if s.edge_id == edge_id and s is not exclude
+        ]
+        if not cands:
+            return None
+        rsum = int(row.sum())
+        rq = int(row @ row)
+        # min() keeps the first of exact ties — position order, deterministic.
+        return min(cands, key=lambda s: self._insert_score(s, row, rsum, rq))
+
+    # ------------------------------------------------------------ operations
+    def insert_client(self, client_id: int) -> int:
+        """Place an arriving client into the CoV-minimizing group of its
+        edge (a new singleton group if the edge has none); returns the
+        group position."""
+        cid = int(client_id)
+        if cid in self.group_of:
+            raise ValueError(f"client {cid} is already maintained")
+        row = self.L[cid]
+        edge = int(self.edge_of_client[cid])
+        target = self._best_target(row, edge)
+        if target is None:
+            target = _GroupState(edge, self.L.shape[1])
+            target.dirty = True
+            self._states.append(target)
+        self._attach(target, cid, row)
+        if self.telemetry.enabled:
+            self.telemetry.inc("population.inserts")
+        return self._states.index(target)
+
+    def remove_client(self, client_id: int) -> int:
+        """Remove a departing client (O(m) moment update); empty groups
+        are pruned. Returns the group position it left."""
+        cid = int(client_id)
+        if cid not in self.group_of:
+            raise ValueError(f"client {cid} is not maintained")
+        s = self.group_of[cid]
+        gi = self._states.index(s)
+        self._detach(cid)
+        if not s.members:
+            self._states.remove(s)
+        if self.telemetry.enabled:
+            self.telemetry.inc("population.removals")
+        return gi
+
+    def update_client(self, client_id: int, new_counts: np.ndarray) -> None:
+        """Apply a label-drift count change: O(m) delta on the owning
+        group's moments, then write the new row back into L."""
+        cid = int(client_id)
+        s = self.group_of.get(cid)
+        new = np.asarray(new_counts, dtype=np.int64)
+        if new.shape != self.L[cid].shape:
+            raise ValueError(
+                f"new_counts shape {new.shape} != {self.L[cid].shape}"
+            )
+        if s is not None:
+            d = new - self.L[cid]
+            s.s1 += int(d.sum())
+            s.s2 += 2 * int(s.counts @ d) + int(d @ d)
+            s.counts += d
+            s.dirty = True
+        np.copyto(self.L[cid], new)
+
+    def migrate_client(self, client_id: int) -> tuple[int, int] | None:
+        """Move a client to the best *other* group of its edge; returns
+        (from, to) group positions, or None if its edge has no other
+        group."""
+        cid = int(client_id)
+        s = self.group_of[cid]
+        edge = int(self.edge_of_client[cid])
+        target = self._best_target(self.L[cid], edge, exclude=s)
+        if target is None:
+            return None
+        src = self._states.index(s)
+        self._detach(cid)
+        if not s.members:
+            self._states.remove(s)
+        self._attach(target, cid, self.L[cid])
+        if self.telemetry.enabled:
+            self.telemetry.inc("population.migrations")
+        return src, self._states.index(target)
+
+    # -------------------------------------------------------------- watchdog
+    def _is_degraded(self, s: _GroupState) -> bool:
+        if s.size < self.min_group_size and len(self._states) > 1:
+            return True
+        if not math.isfinite(self.max_cov):
+            return False
+        metric = cov_paper_eq27 if self.cov_metric == "eq27" else cov_of_counts
+        return float(metric(s.counts)) > self.max_cov * self.degrade_factor
+
+    def maintain(self, rng, round_idx: int, record=None) -> bool:
+        """The MaxCoV-degradation watchdog — run once per round after the
+        round's population events.
+
+        Dirty groups (membership or counts changed since the last pass)
+        that now violate the size floor or exceed
+        ``degrade_factor × MaxCoV`` are re-grouped: *scoped* over just the
+        degraded groups' clients when they are a minority, a *full*
+        re-partition otherwise. ``record``, if given, receives one
+        :class:`PopulationEvent` per regroup/migration. Returns True when
+        anything (counts or structure) changed since the last pass, i.e.
+        whether samplers must be rebuilt.
+        """
+        changed = any(s.dirty for s in self._states)
+        degraded = [s for s in self._states if s.dirty and self._is_degraded(s)]
+        for s in self._states:
+            s.dirty = False
+        if not degraded:
+            return changed
+        tel = self.telemetry
+        if 2 * len(degraded) >= len(self._states):
+            pool = sum(s.size for s in degraded)
+            self.full_repartition(rng)
+            if record is not None:
+                record(
+                    PopulationEvent(
+                        "regroup", round_idx, mode="full", samples=pool
+                    )
+                )
+            if tel.enabled:
+                tel.inc("population.regroups_full")
+                tel.observe("population.regroup_clients", float(pool))
+        else:
+            self._scoped_regroup(degraded, rng, round_idx, record)
+            if tel.enabled:
+                tel.inc("population.regroups_scoped")
+        return True
+
+    def _scoped_regroup(
+        self, degraded: list[_GroupState], rng, round_idx: int, record
+    ) -> None:
+        """Re-partition only the degraded groups' clients, per edge.
+
+        Edges whose degraded pool still meets MinGS re-run the grouper on
+        it; smaller pools fold member-by-member into the edge's surviving
+        groups (recorded as migrations), or stay one leftover group when
+        the edge has no survivor.
+        """
+        mgs = self.min_group_size
+        tel = self.telemetry
+        pool_by_edge: dict[int, list[int]] = defaultdict(list)
+        for s in degraded:
+            pool_by_edge[s.edge_id].extend(s.members)
+        for s in degraded:
+            for cid in list(s.members):
+                self.group_of.pop(cid)
+            self._states.remove(s)
+        rng = make_rng(rng)
+        for edge in sorted(pool_by_edge):
+            ids = sorted(pool_by_edge[edge])
+            child = spawn(rng)
+            if len(ids) >= mgs:
+                formed = self.grouper.group(
+                    self.L[np.array(ids, dtype=np.int64)],
+                    np.array(ids, dtype=np.int64),
+                    edge_id=edge,
+                    rng=child,
+                )
+                self._adopt(formed)
+                if record is not None:
+                    record(
+                        PopulationEvent(
+                            "regroup", round_idx, index=edge, mode="scoped",
+                            samples=len(ids),
+                        )
+                    )
+                if tel.enabled:
+                    tel.observe("population.regroup_clients", float(len(ids)))
+            elif any(t.edge_id == edge for t in self._states):
+                for cid in ids:
+                    row = self.L[cid]
+                    target = self._best_target(row, edge)
+                    self._attach(target, cid, row)
+                    target.dirty = False  # accepted by this pass
+                    if record is not None:
+                        record(
+                            PopulationEvent(
+                                "migrate", round_idx, client_id=cid,
+                                to_group_id=self._states.index(target),
+                            )
+                        )
+                    if tel.enabled:
+                        tel.inc("population.migrations")
+            else:
+                leftover = _GroupState(edge, self.L.shape[1])
+                self._states.append(leftover)
+                for cid in ids:
+                    self._attach(leftover, cid, self.L[cid])
+                leftover.dirty = False
+
+    def full_repartition(self, rng, active_ids: list[int] | None = None) -> None:
+        """From-scratch per-edge re-partition of the maintained clients.
+
+        Mirrors :func:`repro.grouping.group_clients_per_edge` exactly — one
+        spawned child RNG per pool edge, ascending client order — so when
+        every edge's active count meets MinGS the result is bit-identical
+        to a fresh formation over the same label matrix. Edges below the
+        floor keep their clients as one leftover group (a fresh formation
+        would reject them — see ``CoVGrouping.group``'s validation).
+        """
+        if active_ids is None:
+            active_ids = self.active_ids()
+        rng = make_rng(rng)
+        children = spawn_many(rng, self.num_edges)
+        by_edge: dict[int, list[int]] = defaultdict(list)
+        for cid in sorted(int(c) for c in active_ids):
+            by_edge[int(self.edge_of_client[cid])].append(cid)
+        self._states = []
+        self.group_of = {}
+        for edge in range(self.num_edges):
+            ids = by_edge.get(edge, [])
+            if not ids:
+                continue
+            if len(ids) < self.min_group_size:
+                leftover = _GroupState(edge, self.L.shape[1])
+                self._states.append(leftover)
+                for cid in ids:
+                    self._attach(leftover, cid, self.L[cid])
+                leftover.dirty = False
+            else:
+                formed = self.grouper.group(
+                    self.L[np.array(ids, dtype=np.int64)],
+                    np.array(ids, dtype=np.int64),
+                    edge_id=edge,
+                    rng=children[edge],
+                )
+                self._adopt(formed)
+
+    def _adopt(self, formed: list[Group]) -> None:
+        """Fold freshly formed Groups into maintained state (clean)."""
+        for g in formed:
+            s = _GroupState(g.edge_id, self.L.shape[1])
+            s.members = [int(c) for c in g.members]
+            s.counts = np.asarray(g.label_counts, dtype=np.int64).copy()
+            s.s1 = int(s.counts.sum())
+            s.s2 = int(s.counts @ s.counts)
+            for cid in s.members:
+                self.group_of[cid] = s
+            self._states.append(s)
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineGroupMaintainer(groups={self.num_groups}, "
+            f"clients={len(self.group_of)}, grouper={self.grouper!r})"
+        )

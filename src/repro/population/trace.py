@@ -1,0 +1,109 @@
+"""Population-event recording with deterministic replay signatures.
+
+Every population change — a client joining or leaving, a label-drift
+mutation, a migration between groups, a watchdog regroup — becomes a
+:class:`PopulationEvent` appended to the run's :class:`PopulationTrace`.
+Because all dynamics decisions are pure functions of
+``(population seed, kind, index, round, client)`` (see
+``repro.population.dynamics``), two runs with the same seed produce the
+same event *set* regardless of the execution backend.
+:meth:`PopulationTrace.signature` hashes the canonically sorted events,
+giving a backend-independent replay fingerprint — the population-side
+twin of :meth:`repro.faults.FaultTrace.signature`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["PopulationEvent", "PopulationTrace"]
+
+
+@dataclass(frozen=True)
+class PopulationEvent:
+    """One population change.
+
+    ``kind`` is the event family (``join`` / ``leave`` / ``drift`` /
+    ``migrate`` / ``regroup``). ``index`` identifies which dynamic fired
+    (drift replay re-derives the mutation from it); ``mode`` qualifies
+    drifts (``step`` / ``linear`` / ``corr``) and regroups (``scoped`` /
+    ``full`` / ``forced``). ``group_id`` / ``to_group_id`` record the
+    affected group (joins, leaves, migrations); ``samples`` and ``offset``
+    record a drift's relabeled-sample count and class rotation.
+    """
+
+    kind: str
+    round: int
+    client_id: int | None = None
+    index: int | None = None
+    mode: str | None = None
+    group_id: int | None = None
+    to_group_id: int | None = None
+    samples: int = 0
+    offset: int = 0
+
+    def key(self) -> tuple:
+        """Total ordering key — canonical across execution backends."""
+        return (
+            self.round,
+            self.kind,
+            -1 if self.client_id is None else self.client_id,
+            -1 if self.index is None else self.index,
+            -1 if self.group_id is None else self.group_id,
+            -1 if self.to_group_id is None else self.to_group_id,
+            self.mode or "",
+        )
+
+
+@dataclass
+class PopulationTrace:
+    """Thread-safe accumulator of the population events of a run."""
+
+    events: list[PopulationEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __getstate__(self) -> dict:
+        """Pickle/checkpoint support: the lock is process-local, drop it."""
+        with self._lock:
+            return {"events": list(self.events)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.events = list(state["events"])
+        self._lock = threading.Lock()
+
+    def record(self, event: PopulationEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def extend(self, events: list[PopulationEvent]) -> None:
+        with self._lock:
+            self.events.extend(events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sorted(self) -> list[PopulationEvent]:
+        """Events in canonical order (independent of recording order)."""
+        return sorted(self.events, key=PopulationEvent.key)
+
+    def counts(self) -> Counter:
+        """Event count per ``kind`` (the ``population.*`` breakdown)."""
+        return Counter(e.kind for e in self.events)
+
+    def signature(self) -> str:
+        """Hex digest of the canonically-sorted trace.
+
+        Equal signatures ⇒ the two runs applied exactly the same
+        population changes — the deterministic-replay contract (same
+        seed, same signature, on any backend).
+        """
+        h = hashlib.sha256()
+        for e in self.sorted():
+            h.update(
+                f"{e.kind}|{e.round}|{e.client_id}|{e.index}|{e.mode}|"
+                f"{e.group_id}|{e.to_group_id}|{e.samples}|{e.offset}\n".encode()
+            )
+        return h.hexdigest()

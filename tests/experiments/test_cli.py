@@ -58,6 +58,32 @@ class TestCLI:
         assert not get_active().enabled
 
 
+class TestPopulationFlag:
+    def test_bad_spec_fails_fast(self, capsys):
+        assert main(["fig5", "--population", "walk:0.1"]) == 2
+        assert "bad --population spec" in capsys.readouterr().err
+
+    def test_ambient_model_deactivated_after_run(self, capsys):
+        from repro.population import get_active_population
+
+        # fig5 only times grouping (no trainers), so the run is cheap; the
+        # point is that the model is installed for the run and gone after.
+        assert main(["fig5", "--scale", "fast",
+                     "--population", "leave:0.01"]) == 0
+        capsys.readouterr()
+        assert get_active_population() is None
+
+    def test_telemetry_meta_records_spec(self, capsys, tmp_path):
+        from repro.telemetry import load_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        assert main(["fig5", "--scale", "fast", "--telemetry", path,
+                     "--population", "leave:0.01"]) == 0
+        capsys.readouterr()
+        records = load_jsonl(path)
+        assert records["meta"][0]["population"] == "leave:0.01"
+
+
 class TestCheckpointFlags:
     def test_resume_requires_checkpoint_dir(self, capsys):
         assert main(["fig5", "--resume"]) == 2

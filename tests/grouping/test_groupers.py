@@ -74,11 +74,20 @@ class TestCoVGrouping:
         groups = CoVGrouping(4, float("inf")).group(L, np.arange(40), rng=0)
         assert all(g.size == 4 for g in groups)
 
-    def test_single_client(self):
+    def test_single_client_when_min_group_size_is_one(self):
         L = np.array([[5, 5]])
-        groups = CoVGrouping(3, 0.5).group(L, np.array([7]), rng=0)
+        groups = CoVGrouping(1, 0.5).group(L, np.array([7]), rng=0)
         assert len(groups) == 1
         assert groups[0].members.tolist() == [7]
+
+    def test_fewer_clients_than_min_group_size_raises(self):
+        L = np.array([[5, 5]])
+        with pytest.raises(ValueError, match=r"1 client\(s\) with min_group_size=3"):
+            CoVGrouping(3, 0.5).group(L, np.array([7]), rng=0)
+
+    def test_one_dim_label_matrix_raises(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            CoVGrouping(1, 0.5).group(np.array([5, 5]), np.array([7]), rng=0)
 
     def test_client_id_mapping(self):
         L = skewed_label_matrix(n=10)

@@ -83,7 +83,9 @@ class TestEngineEquality:
     def test_empty_and_single_client(self):
         inc = CoVGrouping(3, 0.5)
         assert inc.group(np.zeros((0, 4)), np.arange(0), rng=0) == []
-        groups = inc.group(np.array([[2.0, 3.0]]), np.array([9]), rng=0)
+        with pytest.raises(ValueError, match="min_group_size=3"):
+            inc.group(np.array([[2.0, 3.0]]), np.array([9]), rng=0)
+        groups = CoVGrouping(1, 0.5).group(np.array([[2.0, 3.0]]), np.array([9]), rng=0)
         assert len(groups) == 1
         assert groups[0].members.tolist() == [9]
 
