@@ -1,0 +1,145 @@
+"""Population-scale axis: grouping + sampling + accounting on the
+columnar store at 10³ → 10⁶ clients, with **zero client materialization**.
+
+The point of :class:`repro.population.ColumnarPopulation`: everything the
+control plane does per round — CoV group formation, the sampling vector
+p/Γ_p, cost-ledger and communication accounting — runs on flat arrays,
+so population size is bounded by memory for a |K|×m int64 matrix, not by
+Python object count. The stores here are metadata-only (``synthetic``):
+any attempt to materialize a client would raise, which is the structural
+proof that none of the measured stages needs one.
+
+Folds a ``columnar`` axis into ``BENCH_hotpaths.json`` (preserving the
+axes written by ``test_hotpaths.py`` / ``test_population_maintenance.py``).
+Smoke mode (``REPRO_BENCH_SMOKE=1``) trims the size sweep to 10⁵ and the
+repeats; the full run covers 10⁶.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _util import run_once
+from repro.costs.ledger import CostLedger
+from repro.costs.model import CostModel, LinearCost, QuadraticCost
+from repro.grouping import CoVGrouping, group_clients_per_edge
+from repro.population import ColumnarPopulation, group_label_counts
+from repro.sampling import (
+    gamma_p,
+    sample_without_replacement,
+    sampling_probabilities_from_counts,
+)
+from repro.topology.comm import CommModel
+from repro.topology.network import HierarchicalTopology
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+SIZES = [1_000, 10_000, 100_000] if SMOKE else [1_000, 10_000, 100_000, 1_000_000]
+CLIENTS_PER_EDGE = 200
+NUM_CLASSES = 20
+OUT_PATH = Path(__file__).parents[1] / "BENCH_hotpaths.json"
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _bench_scale(num_clients: int) -> dict:
+    repeats = 1 if num_clients >= 1_000_000 else (2 if SMOKE else 3)
+    store = ColumnarPopulation.synthetic(num_clients, NUM_CLASSES, seed=num_clients)
+    assert not store.has_data  # materializing any client would raise
+    num_edges = max(1, num_clients // CLIENTS_PER_EDGE)
+    edges = np.array_split(np.arange(num_clients), num_edges)
+    grouper = CoVGrouping(min_group_size=20, max_cov=0.6)
+
+    grouping_s, groups = _best_of(
+        lambda: group_clients_per_edge(grouper, store.L, edges, rng=0), repeats
+    )
+
+    def sample_stage():
+        counts = group_label_counts(store.L, groups)
+        p = sampling_probabilities_from_counts(counts, "esrcov")
+        g = gamma_p(p)
+        selected = sample_without_replacement(p, min(16, len(groups)), rng=0)
+        return p, g, selected
+
+    sampling_s, (p, g_p, selected) = _best_of(sample_stage, repeats)
+
+    sizes = np.array([grp.size for grp in groups], dtype=np.int64)
+    n_g = np.array([grp.n_g for grp in groups], dtype=np.int64)
+    edge_ids = np.array([grp.edge_id for grp in groups], dtype=np.int64)
+    ledger = CostLedger(
+        CostModel(training=LinearCost(c1=1.0), group_op=QuadraticCost(c2=1.0)),
+        store.client_sizes(),
+    )
+    comm = CommModel(
+        HierarchicalTopology(num_clients=num_clients, num_edges=num_edges),
+        model_bytes=8.0 * 4096,
+    )
+
+    def account_stage():
+        cost = ledger.charge_round_columnar(sizes, n_g, group_rounds=2, local_rounds=2)
+        traffic = comm.round_traffic_columnar(sizes, edge_ids, group_rounds=2)
+        return cost, traffic
+
+    accounting_s, (cost, traffic) = _best_of(account_stage, repeats)
+
+    assert not store.has_data  # still nothing materialized, end to end
+    assert np.isfinite(g_p) and np.isfinite(cost) and selected.size
+    return {
+        "num_clients": num_clients,
+        "classes": NUM_CLASSES,
+        "num_edges": num_edges,
+        "num_groups": len(groups),
+        "grouping_s": grouping_s,
+        "sampling_s": sampling_s,
+        "accounting_s": accounting_s,
+        "gamma_p": float(g_p),
+        "round_cost": float(cost),
+        "round_gbytes": traffic.total_bytes / 1e9,
+    }
+
+
+def _bench_all() -> list[dict]:
+    return [_bench_scale(k) for k in SIZES]
+
+
+def test_columnar_control_plane_scales_without_materialization(benchmark):
+    rows = run_once(benchmark, _bench_all)
+
+    print()
+    for row in rows:
+        print(
+            f"columnar @ |K|={row['num_clients']:>9,}: "
+            f"{row['num_groups']:>6,} groups | "
+            f"grouping {row['grouping_s'] * 1e3:9.1f} ms | "
+            f"sampling {row['sampling_s'] * 1e3:7.2f} ms | "
+            f"accounting {row['accounting_s'] * 1e3:6.2f} ms"
+        )
+
+    # Sampling + accounting must stay decoupled from population scale:
+    # near-linear array passes, never per-client Python work. 1000× the
+    # clients may cost at most ~3000× in those stages (generous CI slack);
+    # a per-object path would blow through this by orders of magnitude.
+    first, last = rows[0], rows[-1]
+    scale = last["num_clients"] / first["num_clients"]
+    for stage in ("sampling_s", "accounting_s"):
+        ratio = last[stage] / max(first[stage], 1e-9)
+        assert ratio < 3.0 * scale, (stage, ratio, scale, rows)
+
+    report = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {
+        "benchmark": "hotpaths"
+    }
+    report["columnar"] = rows
+    OUT_PATH.write_text(json.dumps(report, indent=1))
+    print(f"wrote {OUT_PATH}")

@@ -49,6 +49,7 @@ from repro.parallel import (
     worker_state,
 )
 from repro.population import (
+    ColumnarPopulation,
     PopulationEngine,
     PopulationModel,
     PopulationTrace,
@@ -189,7 +190,9 @@ class _WorkerContext:
     """
 
     model_fn: object
-    clients: list
+    #: the full client list (object path) or None (columnar path — the
+    #: sampled clients ride in each round's :class:`_GroupTask` instead)
+    clients: list | None
     lr: float
     momentum: float
     weight_decay: float
@@ -218,6 +221,10 @@ class _GroupTask:
     rng: np.random.Generator
     global_params: np.ndarray
     round_idx: int
+    #: columnar path only: this group's lazily-materialized clients
+    #: (zero-copy views in-process; pickled by the pool for workers —
+    #: only the ~|g| sampled clients cross, never the population)
+    clients: dict | None = None
 
 
 def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent]]:
@@ -246,11 +253,12 @@ def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent
     # they would not have under per-task shipping.
     compressor = copy.deepcopy(ctx.compressor) if ctx.compressor is not None else None
     events: list[FaultEvent] = []
+    clients = task.clients if task.clients is not None else ctx.clients
     params = run_group_round(
         model,
         optimizer,
         task.group,
-        ctx.clients,
+        clients,
         task.global_params,
         group_rounds=ctx.group_rounds,
         local_rounds=ctx.local_rounds,
@@ -286,7 +294,13 @@ class GroupFELTrainer:
         needed per parallel worker; the serial path builds one). Must be
         picklable (a module-level function) for the ``process`` backend.
     fed:
-        The federated dataset (clients, shards, global test set).
+        The federated dataset (clients, shards, global test set) — either
+        a :class:`FederatedDataset` or a data-bearing
+        :class:`repro.population.ColumnarPopulation`
+        (``fed.to_columnar()``). The columnar path materializes only the
+        sampled ~S·|g| clients per round as zero-copy views and is
+        bit-identical to the object path on every backend
+        (``tests/population/test_columnar_equivalence.py``).
     groups:
         The formed groups G (from ``group_clients_per_edge``).
     config:
@@ -360,6 +374,15 @@ class GroupFELTrainer:
         self.telemetry = resolve_telemetry(telemetry)
         self.model_fn = model_fn
         self.fed = fed
+        #: columnar populations materialize clients lazily per round; the
+        #: object path ships the full client list into workers once.
+        self._columnar = isinstance(fed, ColumnarPopulation)
+        if self._columnar and not fed.has_data:
+            raise ValueError(
+                "cannot train on a metadata-only ColumnarPopulation — build "
+                "it from a FederatedDataset (fed.to_columnar()) so clients "
+                "can be materialized"
+            )
         self.groups = list(groups)
         self.config = config or TrainerConfig()
         self.cost_model = cost_model or CostModel(
@@ -549,7 +572,7 @@ class GroupFELTrainer:
         cfg = self.config
         return _WorkerContext(
             model_fn=self.model_fn,
-            clients=self.fed.clients,
+            clients=None if self._columnar else self.fed.clients,
             lr=cfg.lr,
             momentum=cfg.momentum,
             weight_decay=cfg.weight_decay,
@@ -720,7 +743,7 @@ class GroupFELTrainer:
             model,
             optimizer,
             group,
-            self.fed.clients,
+            self._clients_for(group),
             self.global_params,
             group_rounds=self.config.group_rounds,
             local_rounds=self.config.local_rounds,
@@ -742,14 +765,27 @@ class GroupFELTrainer:
         )
         return params, events
 
+    def _clients_for(self, group: Group):
+        """What ``run_group_round`` indexes member ids into: the full list
+        (object path) or just this group's materialized views (columnar)."""
+        if self._columnar:
+            return self.fed.materialize(group.members)
+        return self.fed.clients
+
     def _group_task(self, group: Group, rng: np.random.Generator) -> _GroupTask:
-        """The small per-round dispatch delta (see :class:`_WorkerContext`)."""
+        """The small per-round dispatch delta (see :class:`_WorkerContext`).
+
+        On the columnar path the task also carries the group's materialized
+        clients — current as of this round, so label drift needs no worker
+        re-shipping — and only those ~|g| clients ever cross the pool.
+        """
         return _GroupTask(
             token=self._worker_token,
             group=group,
             rng=rng,
             global_params=self.global_params,
             round_idx=self.round_idx,
+            clients=self.fed.materialize(group.members) if self._columnar else None,
         )
 
     def train_round(self) -> float:
@@ -765,9 +801,15 @@ class GroupFELTrainer:
                     # groups, so rebuild the sampler — and only then.
                     self.groups = self.population_engine.groups
                     self.sampler = self._make_sampler()
-                if pop_step.data_changed and self._pmap.backend == "process":
+                if (
+                    pop_step.data_changed
+                    and self._pmap.backend == "process"
+                    and not self._columnar
+                ):
                     # Label drift mutated client shards; pool workers hold
                     # pickled copies and must be re-shipped the new data.
+                    # (Columnar runs skip this: each round's tasks carry
+                    # freshly-materialized views of the drifted store.)
                     self._pmap.register_worker_state(
                         self._worker_token, self._worker_context()
                     )

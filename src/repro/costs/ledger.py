@@ -61,6 +61,25 @@ class CostLedger:
             self.telemetry.observe("round_cost", cost)
         return cost
 
+    def charge_round_columnar(
+        self,
+        group_sizes: np.ndarray,
+        group_samples: np.ndarray,
+        group_rounds: int,
+        local_rounds: int,
+    ) -> float:
+        """Charge one round from per-group (|g|, n_g) arrays — no per-group
+        member gathers, so a columnar store's sampled groups are charged in
+        one vectorized pass at any population scale."""
+        cost = self.cost_model.global_round_cost_columnar(
+            group_sizes, group_samples, group_rounds, local_rounds
+        )
+        self.round_costs.append(cost)
+        if self.telemetry.enabled:
+            self.telemetry.inc("cost_total", cost)
+            self.telemetry.observe("round_cost", cost)
+        return cost
+
     @property
     def total_fault_delay_s(self) -> float:
         """Cumulative wall-clock seconds injected faults cost the run."""

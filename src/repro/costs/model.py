@@ -88,3 +88,30 @@ class CostModel:
         for size, sizes in zip(group_sizes, client_sizes_per_group):
             total += self.group_round_cost(int(size), sizes, local_rounds)
         return group_rounds * total
+
+    def global_round_cost_columnar(
+        self,
+        group_sizes: np.ndarray,
+        group_samples: np.ndarray,
+        group_rounds: int,
+        local_rounds: int,
+    ) -> float:
+        """Eq. (5) for one round from per-group aggregates alone.
+
+        H is linear, so Σ_{i∈g} H(n_i) = |g|·c0 + c1·n_g — the per-client
+        sum collapses onto (|g|, n_g), which a columnar store already holds
+        as arrays. Algebraically identical to :meth:`global_round_cost`
+        (float summation order differs, so compare with a tolerance); no
+        per-client array is ever built, which is what lets the ledger
+        charge 10⁶-client populations.
+        """
+        sizes = np.asarray(group_sizes, dtype=np.float64)
+        n_g = np.asarray(group_samples, dtype=np.float64)
+        if sizes.shape != n_g.shape:
+            raise ValueError(
+                f"group_sizes {sizes.shape} and group_samples {n_g.shape} differ"
+            )
+        per_group = sizes * self.group_op(sizes) + local_rounds * (
+            self.training.c0 * sizes + self.training.c1 * n_g
+        )
+        return float(group_rounds * per_group.sum())

@@ -47,6 +47,8 @@ class ClientDataset:
         self, batch_size: int, rng: np.random.Generator | int | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """One random minibatch ξ (with replacement if shard is smaller)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         rng = make_rng(rng)
         replace = self.n < batch_size
         idx = rng.choice(self.n, size=min(batch_size, self.n) if not replace else batch_size,
@@ -107,6 +109,30 @@ class FederatedDataset:
     def client_sizes(self) -> np.ndarray:
         """n_i for every client."""
         return np.array([c.n for c in self.clients], dtype=np.int64)
+
+    def client_size(self, client_id: int) -> int:
+        """One client's n_i (representation-agnostic accessor — the
+        population engine uses this on either this class or a
+        :class:`repro.population.ColumnarPopulation`)."""
+        return self.clients[client_id].n
+
+    def client_labels(self, client_id: int) -> np.ndarray:
+        """One client's mutable label vector (label drift writes through
+        it; the columnar store exposes the same accessor as a view)."""
+        return self.clients[client_id].y
+
+    def to_columnar(self, seed: int = 0):
+        """Snapshot into a :class:`repro.population.ColumnarPopulation`.
+
+        One re-layout copy here (per-client samples made contiguous, in
+        shard order, so values match ``self.clients`` exactly); after
+        that, materializing any client is a zero-copy view. The store is
+        independent of this dataset — drift in one never leaks into the
+        other.
+        """
+        from repro.population.store import ColumnarPopulation
+
+        return ColumnarPopulation.from_federated(self, seed=seed)
 
     @property
     def total_samples(self) -> int:

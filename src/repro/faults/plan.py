@@ -204,9 +204,26 @@ class FaultPlan:
         return self.group_failure_draw(round_idx, group_id) < 0.0
 
     # ------------------------------------------------------------------ spec
+    #: spec grammar arity: term name → max ``:``-separated values
+    _SPEC_ARITY = {
+        "dropout": 1,
+        "straggler": 2,
+        "loss": 2,
+        "msgloss": 2,
+        "groupfail": 1,
+        "group": 1,
+    }
+
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
-        """Parse the CLI grammar (see module docstring) into a plan."""
+        """Parse the CLI grammar (see module docstring) into a plan.
+
+        Fail-fast: every malformed term — missing or non-numeric
+        probability, unknown kind, surplus fields, out-of-range rates, a
+        ``@phase`` on anything but ``dropout`` — raises a ``ValueError``
+        naming the offending token, so a typo in a long comma-separated
+        spec is pinpointed instead of silently ignored.
+        """
         injectors: list[Injector] = []
         for raw in spec.split(","):
             term = raw.strip()
@@ -217,33 +234,47 @@ class FaultPlan:
                 term, phase = term.rsplit("@", 1)
             parts = term.split(":")
             name = parts[0].lower()
+            if name not in cls._SPEC_ARITY:
+                raise ValueError(
+                    f"unknown fault kind {name!r} in term {raw!r}; known: "
+                    "dropout, straggler, loss, groupfail"
+                )
             if len(parts) < 2:
                 raise ValueError(
                     f"fault term {raw!r} needs a probability, e.g. 'dropout:0.2'"
+                )
+            if len(parts) - 1 > cls._SPEC_ARITY[name]:
+                raise ValueError(
+                    f"fault term {raw!r} has {len(parts) - 1} values; "
+                    f"{name!r} takes at most {cls._SPEC_ARITY[name]}"
+                )
+            if phase is not None and name != "dropout":
+                raise ValueError(
+                    f"fault term {raw!r}: only dropout takes an @phase"
                 )
             try:
                 prob = float(parts[1])
             except ValueError:
                 raise ValueError(f"bad probability in fault term {raw!r}") from None
-            if name == "dropout":
-                injectors.append(ClientDropout(prob=prob, phase=phase or "after"))
-            elif name == "straggler":
-                delay = float(parts[2]) if len(parts) > 2 else 1.0
-                injectors.append(Straggler(prob=prob, delay_s=delay))
-            elif name in ("loss", "msgloss"):
-                retry = (
-                    RetryPolicy(max_retries=int(parts[2]))
-                    if len(parts) > 2
-                    else RetryPolicy()
-                )
-                injectors.append(MessageLoss(prob=prob, retry=retry))
-            elif name in ("groupfail", "group"):
-                injectors.append(GroupFailure(prob=prob))
-            else:
-                raise ValueError(
-                    f"unknown fault kind {name!r}; known: dropout, straggler, "
-                    "loss, groupfail"
-                )
+            try:
+                if name == "dropout":
+                    injectors.append(ClientDropout(prob=prob, phase=phase or "after"))
+                elif name == "straggler":
+                    delay = float(parts[2]) if len(parts) > 2 else 1.0
+                    injectors.append(Straggler(prob=prob, delay_s=delay))
+                elif name in ("loss", "msgloss"):
+                    retry = (
+                        RetryPolicy(max_retries=int(parts[2]))
+                        if len(parts) > 2
+                        else RetryPolicy()
+                    )
+                    injectors.append(MessageLoss(prob=prob, retry=retry))
+                else:  # groupfail / group
+                    injectors.append(GroupFailure(prob=prob))
+            except ValueError as exc:
+                # Injector range validation (prob/delay/retries) — point at
+                # the term, keep the dataclass's precise reason.
+                raise ValueError(f"bad fault term {raw!r}: {exc}") from None
         if not injectors:
             raise ValueError(f"fault spec {spec!r} defines no injectors")
         return cls(seed=seed, injectors=injectors)

@@ -28,9 +28,12 @@ from repro.population.dynamics import (
 )
 from repro.population.engine import PopulationEngine, PopulationStep
 from repro.population.maintenance import OnlineGroupMaintainer
+from repro.population.store import ColumnarPopulation, group_label_counts
 from repro.population.trace import PopulationEvent, PopulationTrace
 
 __all__ = [
+    "ColumnarPopulation",
+    "group_label_counts",
     "DRIFT_MODES",
     "InitialActive",
     "Arrivals",

@@ -283,10 +283,22 @@ class PopulationModel:
         return int(indices.size), offset, indices.astype(np.int64)
 
     # ------------------------------------------------------------------ spec
+    #: spec grammar arity: term name → max ``:``-separated values
+    _SPEC_ARITY = {"start": 1, "join": 1, "leave": 1, "drift": 3}
+
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "PopulationModel":
-        """Parse the CLI grammar (see module docstring) into a model."""
+        """Parse the CLI grammar (see module docstring) into a model.
+
+        Fail-fast: malformed terms — missing or non-numeric values,
+        unknown kinds, surplus fields, duplicated ``start`` terms, a
+        ``@mode`` on anything but ``drift``, out-of-range rates — raise a
+        ``ValueError`` naming the offending token. (Multiple ``join`` /
+        ``leave`` / ``drift`` terms compose by design; two ``start`` terms
+        would silently shadow each other, so those are rejected.)
+        """
         dynamics: list = []
+        seen_start = False
         for raw in spec.split(","):
             term = raw.strip()
             if not term:
@@ -296,9 +308,19 @@ class PopulationModel:
                 term, mode = term.rsplit("@", 1)
             parts = term.split(":")
             name = parts[0].lower()
+            if name not in cls._SPEC_ARITY:
+                raise ValueError(
+                    f"unknown population kind {name!r} in term {raw!r}; "
+                    "known: start, join, leave, drift"
+                )
             if len(parts) < 2:
                 raise ValueError(
                     f"population term {raw!r} needs a value, e.g. 'leave:0.02'"
+                )
+            if len(parts) - 1 > cls._SPEC_ARITY[name]:
+                raise ValueError(
+                    f"population term {raw!r} has {len(parts) - 1} values; "
+                    f"{name!r} takes at most {cls._SPEC_ARITY[name]}"
                 )
             try:
                 value = float(parts[1])
@@ -308,6 +330,13 @@ class PopulationModel:
                 raise ValueError(
                     f"population term {raw!r}: only drift takes an @mode"
                 )
+            if name == "start":
+                if seen_start:
+                    raise ValueError(
+                        f"duplicate 'start' in population term {raw!r}: the "
+                        "initial active fraction may only be given once"
+                    )
+                seen_start = True
             try:
                 if name == "start":
                     dynamics.append(InitialActive(frac=value))
@@ -315,18 +344,13 @@ class PopulationModel:
                     dynamics.append(Arrivals(rate=value))
                 elif name == "leave":
                     dynamics.append(Departures(prob=value))
-                elif name == "drift":
+                else:  # drift
                     kwargs: dict = {"prob": value, "mode": mode or "step"}
                     if len(parts) > 2:
                         kwargs["fraction"] = float(parts[2])
                     if len(parts) > 3:
                         kwargs["rho"] = float(parts[3])
                     dynamics.append(LabelDrift(**kwargs))
-                else:
-                    raise ValueError(
-                        f"unknown population kind {name!r}; known: start, "
-                        "join, leave, drift"
-                    )
             except ValueError as exc:
                 raise ValueError(f"bad population term {raw!r}: {exc}") from None
         if not dynamics:

@@ -78,6 +78,11 @@ class PopulationEngine:
             grouper, fed.L, edge_of, groups=groups, telemetry=self.telemetry
         )
         self.active = model.initial_active(pool)
+        # A columnar store tracks its own active mask; share one array so
+        # store-level introspection always reflects the engine's state.
+        adopt = getattr(fed, "adopt_active", None)
+        if adopt is not None:
+            self.active = adopt(self.active)
         if not self.active.all():
             # A seeded initial subset: deterministic from-scratch partition
             # of just the active clients (keyed off the model seed, so the
@@ -153,15 +158,20 @@ class PopulationEngine:
     def _apply_drift(
         self, index: int, dyn, round_idx: int, cid: int
     ) -> PopulationEvent | None:
-        """Relabel a seeded subset of the client's samples in place."""
-        client = self.fed.clients[cid]
+        """Relabel a seeded subset of the client's samples in place.
+
+        Representation-agnostic: ``client_labels``/``client_size`` resolve
+        to the object path's per-client arrays or the columnar store's
+        shared-array views, so the mutation (and hence the replay
+        signature) is identical either way.
+        """
         num_classes = self.fed.num_classes
         num, offset, indices = self.model.drift_sample(
-            index, dyn, round_idx, cid, client.n, num_classes
+            index, dyn, round_idx, cid, self.fed.client_size(cid), num_classes
         )
         if num == 0:
             return None
-        y = client.y
+        y = self.fed.client_labels(cid)
         y[indices] = (y[indices] + offset) % num_classes
         new_counts = np.bincount(y, minlength=num_classes).astype(np.int64)
         if self.active[cid]:
@@ -211,23 +221,26 @@ class PopulationEngine:
             if e.kind != "drift":
                 continue
             dyn = self.model.dynamics[e.index]
-            client = self.fed.clients[e.client_id]
             num_classes = self.fed.num_classes
             num, offset, indices = self.model.drift_sample(
-                e.index, dyn, e.round, e.client_id, client.n, num_classes
+                e.index, dyn, e.round, e.client_id,
+                self.fed.client_size(e.client_id), num_classes
             )
             if num != e.samples or offset != e.offset:
                 raise ValueError(
                     f"drift replay diverged at {e}: the population model or "
                     "dataset differs from the checkpointed run"
                 )
-            y = client.y
+            y = self.fed.client_labels(e.client_id)
             y[indices] = (y[indices] + offset) % num_classes
             np.copyto(
                 self.fed.L[e.client_id],
                 np.bincount(y, minlength=num_classes).astype(np.int64),
             )
         self.active = np.asarray(state["active"], dtype=bool).copy()
+        adopt = getattr(self.fed, "adopt_active", None)
+        if adopt is not None:
+            self.active = adopt(self.active)
         self._num_active = int(self.active.sum())
         trace = PopulationTrace()
         trace.extend(events)

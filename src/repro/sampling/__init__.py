@@ -9,7 +9,9 @@ stabilized normalization of Eq. 35).
 
 from repro.sampling.probability import (
     WEIGHT_FUNCTIONS,
+    gamma_p,
     sampling_probabilities,
+    sampling_probabilities_from_counts,
     uniform_probabilities,
 )
 from repro.sampling.sampler import (
@@ -21,7 +23,9 @@ from repro.sampling.sampler import (
 
 __all__ = [
     "WEIGHT_FUNCTIONS",
+    "gamma_p",
     "sampling_probabilities",
+    "sampling_probabilities_from_counts",
     "uniform_probabilities",
     "GroupSampler",
     "AggregationMode",

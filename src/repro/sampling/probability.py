@@ -20,8 +20,15 @@ from numbers import Real
 import numpy as np
 
 from repro.grouping.base import Group
+from repro.grouping.cov import cov_of_counts
 
-__all__ = ["WEIGHT_FUNCTIONS", "sampling_probabilities", "uniform_probabilities"]
+__all__ = [
+    "WEIGHT_FUNCTIONS",
+    "gamma_p",
+    "sampling_probabilities",
+    "sampling_probabilities_from_counts",
+    "uniform_probabilities",
+]
 
 #: Weight functions expressed as log-weights of x = 1/CoV (log keeps
 #: e^{x²} finite); each maps an array of x > 0 to log w(x).
@@ -146,6 +153,44 @@ def sampling_probabilities(
             )
         p = _apply_floor(p, min_prob)
     return p
+
+
+def sampling_probabilities_from_counts(
+    group_counts: np.ndarray,
+    method: str = "esrcov",
+    min_prob: float = 0.0,
+    cov_floor: float = 1e-3,
+) -> np.ndarray:
+    """p over groups given their label-count rows — the columnar hot path.
+
+    ``group_counts`` is the (|G| × m) matrix of per-group class counts
+    (e.g. from :func:`repro.population.group_label_counts` over a
+    :class:`~repro.population.ColumnarPopulation`'s ``L``). One vectorized
+    CoV pass feeds :func:`sampling_probabilities`, so 10⁵–10⁶-client
+    populations get their sampling vector without materializing a single
+    :class:`~repro.grouping.base.Group` attribute lookup per group.
+    """
+    counts = np.asarray(group_counts, dtype=np.float64)
+    if counts.ndim != 2:
+        raise ValueError(
+            f"group_counts must be 2-D (groups × classes), got shape {counts.shape}"
+        )
+    covs = np.atleast_1d(cov_of_counts(counts))
+    return sampling_probabilities(covs, method, min_prob=min_prob, cov_floor=cov_floor)
+
+
+def gamma_p(p: np.ndarray) -> float:
+    """Γ_p = Σ_g 1/p_g — the variance-controlling quantity of Theorem 1.
+
+    Matches ``GroupSampler.gamma_p`` for the same p vector; exposed here so
+    columnar pipelines can report Γ_p without building a sampler.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.size == 0:
+        raise ValueError("cannot compute gamma_p over zero groups")
+    if (p <= 0.0).any():
+        raise ValueError("gamma_p requires strictly positive probabilities")
+    return float(np.sum(1.0 / p))
 
 
 def _apply_floor(p: np.ndarray, floor: float) -> np.ndarray:

@@ -152,3 +152,43 @@ class TestCostLedger:
         groups = [Group(0, 0, np.array([0, 2]), np.array([35, 0]))]
         # K=1, E=1: cost = H(25) + H(10) = 35.
         assert ledger.charge_round(groups, 1, 1) == pytest.approx(35.0)
+
+
+class TestColumnarCharging:
+    """`charge_round_columnar` is the per-group loop collapsed through the
+    LinearCost identity Σ_i H(n_i) = |g|·c0 + c1·n_g — same charge, array
+    inputs, no Group objects (equal up to float summation order)."""
+
+    def _setup(self, seed=0, num_groups=40):
+        rng = np.random.default_rng(seed)
+        sizes = rng.integers(3, 30, size=num_groups)
+        client_sizes = rng.integers(5, 80, size=int(sizes.sum())).astype(np.int64)
+        groups, start = [], 0
+        for gid, s in enumerate(sizes):
+            members = np.arange(start, start + s)
+            n_g = client_sizes[members].sum()
+            groups.append(Group(gid, gid % 4, members, np.array([n_g])))
+            start += s
+        cm = CostModel(
+            training=LinearCost(c0=2.0, c1=1.5), group_op=QuadraticCost(c2=0.3)
+        )
+        return cm, client_sizes, groups
+
+    def test_matches_object_path(self):
+        cm, client_sizes, groups = self._setup()
+        obj = CostLedger(cm, client_sizes)
+        col = CostLedger(cm, client_sizes)
+        loop = obj.charge_round(groups, group_rounds=2, local_rounds=3)
+        sizes = np.array([g.size for g in groups], dtype=np.int64)
+        n_g = np.array([g.n_g for g in groups], dtype=np.int64)
+        vec = col.charge_round_columnar(sizes, n_g, group_rounds=2, local_rounds=3)
+        assert vec == pytest.approx(loop, rel=1e-12)
+        assert col.total == pytest.approx(obj.total, rel=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        cm, client_sizes, _ = self._setup()
+        ledger = CostLedger(cm, client_sizes)
+        with pytest.raises(ValueError, match="group_samples"):
+            ledger.charge_round_columnar(
+                np.array([3, 4]), np.array([50]), group_rounds=1, local_rounds=1
+            )

@@ -52,6 +52,27 @@ class TestClientDataset:
         xb, _ = c.sample_batch(min(4, c.n), rng=0)
         assert xb.shape[0] <= c.n
 
+    def test_sample_batch_rejects_nonpositive_batch_size(self, fed):
+        c = fed.clients[0]
+        with pytest.raises(ValueError, match="batch_size must be >= 1, got 0"):
+            c.sample_batch(0, rng=0)
+        with pytest.raises(ValueError, match="batch_size must be >= 1, got -3"):
+            c.sample_batch(-3, rng=0)
+
+    def test_sample_batch_with_replacement_draws_only_from_shard(self, fed):
+        # Regression for the n < batch_size branch: the oversized batch is
+        # drawn with replacement, so every row must come from this client's
+        # own shard — never from a neighbour's.
+        c = fed.clients[0]
+        xb, yb = c.sample_batch(c.n + 7, rng=1)
+        assert xb.shape[0] == c.n + 7 and yb.shape[0] == c.n + 7
+        shard_rows = {row.tobytes() for row in c.x}
+        assert all(row.tobytes() in shard_rows for row in xb)
+        shard_pairs = {(row.tobytes(), int(y)) for row, y in zip(c.x, c.y)}
+        assert all(
+            (row.tobytes(), int(y)) in shard_pairs for row, y in zip(xb, yb)
+        )
+
 
 class TestFederatedDataset:
     def test_client_count(self, fed):

@@ -1,0 +1,188 @@
+"""Fuzz and edge-case suite for the two CLI spec grammars.
+
+``PopulationModel.from_spec`` and ``FaultPlan.from_spec`` are the only
+places user-typed strings enter the simulation configuration. A typo in
+a long comma-separated spec must fail fast with a ``ValueError`` that
+*names the offending token* — never be silently ignored (a dropped
+``leave:`` term would quietly simulate a different population) and never
+escape as a ``TypeError``/``IndexError`` from deep inside a dataclass.
+
+The hypothesis fuzzers drive both parsers with arbitrary garbage and
+assert the contract: parse successfully, or raise ``ValueError`` — no
+other exception type, ever.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.population import PopulationModel
+
+# ------------------------------------------------------------- population
+
+
+class TestPopulationSpecEdges:
+    def test_offending_token_named_for_bad_value(self):
+        with pytest.raises(ValueError, match=r"'leave:lots'"):
+            PopulationModel.from_spec("start:0.8,leave:lots")
+
+    def test_offending_token_named_for_out_of_range_rate(self):
+        with pytest.raises(ValueError, match=r"'leave:1.5'"):
+            PopulationModel.from_spec("start:0.8,leave:1.5")
+
+    def test_offending_token_named_for_unknown_kind(self):
+        with pytest.raises(ValueError, match=r"(?s)unknown.*'churn:0.1'"):
+            PopulationModel.from_spec("start:0.8,churn:0.1")
+
+    def test_missing_value_names_term(self):
+        with pytest.raises(ValueError, match=r"'join'"):
+            PopulationModel.from_spec("join")
+
+    def test_duplicate_start_rejected(self):
+        with pytest.raises(ValueError, match=r"(?s)duplicate.*'start:0.5'"):
+            PopulationModel.from_spec("start:0.9,join:0.1,start:0.5")
+
+    def test_repeated_join_leave_drift_still_compose(self):
+        # Only `start` is single-shot; event dynamics stack by design.
+        model = PopulationModel.from_spec(
+            "start:1.0,leave:0.1,leave:0.05,drift:0.1,drift:0.2:0.5@corr"
+        )
+        kinds = [d.kind for d in model.dynamics]
+        assert kinds.count("leave") == 2
+        assert kinds.count("drift") == 2
+
+    def test_surplus_fields_rejected(self):
+        with pytest.raises(ValueError, match=r"'leave:0.1:0.2'"):
+            PopulationModel.from_spec("leave:0.1:0.2")
+        with pytest.raises(ValueError, match=r"'drift:0.1:0.2:0.3:0.4'"):
+            PopulationModel.from_spec("drift:0.1:0.2:0.3:0.4")
+
+    def test_mode_on_non_drift_rejected(self):
+        with pytest.raises(ValueError, match=r"(?s)'join:0.2@corr'.*@mode"):
+            PopulationModel.from_spec("join:0.2@corr")
+
+    def test_bad_drift_extras_name_term(self):
+        with pytest.raises(ValueError, match=r"'drift:0.1:high'"):
+            PopulationModel.from_spec("drift:0.1:high")
+        with pytest.raises(ValueError, match=r"'drift:0.1:0.3:2.0'"):
+            PopulationModel.from_spec("drift:0.1:0.3:2.0")  # rho out of range
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_strings_parse_or_valueerror(self, spec):
+        try:
+            model = PopulationModel.from_spec(spec)
+        except ValueError:
+            return
+        assert model.dynamics  # success implies at least one dynamic
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["start", "join", "leave", "drift", "Leave", ""]),
+                st.lists(
+                    st.one_of(
+                        st.floats(-2, 3, allow_nan=False).map(lambda f: f"{f:.3f}"),
+                        st.sampled_from(["", "x", "1e-2", "nan", "0..1"]),
+                    ),
+                    max_size=4,
+                ),
+                st.sampled_from(["", "@corr", "@step", "@bogus", "@"]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_structured_near_miss_specs_never_crash(self, terms):
+        spec = ",".join(
+            ":".join([name, *vals]) + mode for name, vals, mode in terms
+        )
+        try:
+            PopulationModel.from_spec(spec)
+        except ValueError:
+            pass
+
+
+# ----------------------------------------------------------------- faults
+
+
+class TestFaultSpecEdges:
+    def test_offending_token_named_for_bad_probability(self):
+        with pytest.raises(ValueError, match=r"(?s)probability.*'loss:often'"):
+            FaultPlan.from_spec("dropout:0.2,loss:often")
+
+    def test_offending_token_named_for_out_of_range_probability(self):
+        with pytest.raises(ValueError, match=r"'dropout:1.5'"):
+            FaultPlan.from_spec("dropout:1.5")
+
+    def test_offending_token_named_for_unknown_kind(self):
+        with pytest.raises(ValueError, match=r"(?s)unknown fault kind.*'powercut:0.2'"):
+            FaultPlan.from_spec("powercut:0.2")
+
+    def test_surplus_fields_rejected(self):
+        with pytest.raises(ValueError, match=r"'dropout:0.2:9'"):
+            FaultPlan.from_spec("dropout:0.2:9")
+        with pytest.raises(ValueError, match=r"'straggler:0.1:2.0:7'"):
+            FaultPlan.from_spec("straggler:0.1:2.0:7")
+
+    def test_bad_numeric_extras_name_term(self):
+        with pytest.raises(ValueError, match=r"'loss:0.1:x'"):
+            FaultPlan.from_spec("loss:0.1:x")
+        with pytest.raises(ValueError, match=r"'straggler:0.1:zero'"):
+            FaultPlan.from_spec("straggler:0.1:zero")
+
+    def test_out_of_range_params_name_term(self):
+        with pytest.raises(ValueError, match=r"'straggler:0.1:-2'"):
+            FaultPlan.from_spec("straggler:0.1:-2")
+        with pytest.raises(ValueError, match=r"'loss:0.1:-1'"):
+            FaultPlan.from_spec("loss:0.1:-1")
+
+    def test_phase_on_non_dropout_rejected(self):
+        with pytest.raises(ValueError, match=r"(?s)'straggler:0.2@mid'.*@phase"):
+            FaultPlan.from_spec("straggler:0.2@mid")
+
+    def test_duplicate_injectors_still_compose(self):
+        plan = FaultPlan.from_spec("dropout:0.2,dropout:0.1@before,loss:0.1")
+        assert len(plan.of_kind("dropout")) == 2
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_strings_parse_or_valueerror(self, spec):
+        try:
+            plan = FaultPlan.from_spec(spec)
+        except ValueError:
+            return
+        assert plan.injectors
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["dropout", "straggler", "loss", "groupfail", "LOSS", "drop", ""]
+                ),
+                st.lists(
+                    st.one_of(
+                        st.floats(-2, 3, allow_nan=False).map(lambda f: f"{f:.3f}"),
+                        st.sampled_from(["", "x", "3", "-1", "inf"]),
+                    ),
+                    max_size=4,
+                ),
+                st.sampled_from(["", "@before", "@mid", "@after", "@never", "@"]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_structured_near_miss_specs_never_crash(self, terms):
+        spec = ",".join(
+            ":".join([name, *vals]) + phase for name, vals, phase in terms
+        )
+        try:
+            FaultPlan.from_spec(spec)
+        except ValueError:
+            pass

@@ -22,11 +22,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.grouping import Group
+from repro.population import ColumnarPopulation, group_label_counts
 from repro.sampling import (
     GroupSampler,
     aggregation_weights,
+    gamma_p,
     sample_without_replacement,
     sampling_probabilities,
+    sampling_probabilities_from_counts,
 )
 
 
@@ -177,3 +180,57 @@ class TestInputNormalization:
     def test_empty_input_still_a_value_error(self):
         with pytest.raises(ValueError, match="zero groups"):
             sampling_probabilities([])
+
+
+class TestColumnarScale:
+    """10⁵-client columnar case: the whole p-vector path — group label
+    counts → CoV → p_g → Γ_p — runs on flat arrays with no Group objects
+    and no client materialization, and the result is still a valid,
+    unbiased sampling distribution."""
+
+    NUM_CLIENTS = 100_000
+    BLOCK = 100  # clients per group → 1000 groups
+
+    @pytest.fixture(scope="class")
+    def counts(self):
+        store = ColumnarPopulation.synthetic(self.NUM_CLIENTS, 10, seed=17)
+        assert not store.has_data  # metadata only, end to end
+        num_groups = self.NUM_CLIENTS // self.BLOCK
+        counts = store.L.reshape(num_groups, self.BLOCK, store.num_classes).sum(
+            axis=1
+        )
+        # Same answer as the general member-indexed aggregation.
+        members = np.arange(self.NUM_CLIENTS).reshape(num_groups, self.BLOCK)
+        np.testing.assert_array_equal(
+            counts, group_label_counts(store.L, list(members))
+        )
+        return counts
+
+    @pytest.mark.parametrize("method", ["rcov", "srcov", "esrcov"])
+    def test_p_is_a_valid_distribution(self, counts, method):
+        p = sampling_probabilities_from_counts(counts, method)
+        assert p.shape == (counts.shape[0],)
+        assert (p > 0.0).all()
+        assert np.isclose(p.sum(), 1.0)
+        assert np.isfinite(gamma_p(p))
+
+    def test_eq4_unbiased_within_clt_tolerance(self, counts):
+        """Eq. 4: E[Σ_{g∈S} n_g/(n·p_g·S) · x_g] = Σ_g (n_g/n)·x_g, checked
+        with S=1 independent draws over the 1000-group columnar p. The
+        identity holds for any strictly positive p; rcov keeps the vector
+        spread moderate enough for a CLT check to resolve (esrcov squares
+        the CoV gaps, so over 1000 near-homogeneous groups it concentrates
+        almost all mass on one group and the test would need ~1/p_min
+        draws)."""
+        p = sampling_probabilities_from_counts(counts, "rcov")
+        n_g = counts.sum(axis=1).astype(np.float64)
+        n = n_g.sum()
+        rng = np.random.default_rng(99)
+        x = rng.standard_normal(counts.shape[0])
+        target = float((n_g / n) @ x)
+
+        rounds = 4000
+        draws = rng.choice(counts.shape[0], size=rounds, p=p)
+        estimates = (n_g[draws] / (n * p[draws])) * x[draws]
+        se = estimates.std(ddof=1) / np.sqrt(rounds)
+        assert abs(estimates.mean() - target) < 4.0 * se

@@ -72,3 +72,53 @@ class TestEdgeDownloadDedup:
         one = cm.round_traffic([group(0, 0, 4)], 2)
         two = cm.training_traffic([[group(0, 0, 4)], [group(0, 0, 4)]], 2)
         assert two.download_bytes == pytest.approx(2 * one.download_bytes)
+
+
+class TestColumnarTraffic:
+    """`round_traffic_columnar` reproduces the object path's totals from
+    (sizes, edge_ids) arrays alone — including the per-edge cloud→edge
+    download dedup this module pins."""
+
+    def _both(self, groups, group_rounds, retries=None):
+        cm = make_model()
+        obj = cm.round_traffic(groups, group_rounds, retries_per_group=retries)
+        sizes = np.array([g.size for g in groups], dtype=np.int64)
+        edge_ids = np.array([g.edge_id for g in groups], dtype=np.int64)
+        r = (
+            np.array([retries.get(g.group_id, 0) for g in groups])
+            if retries
+            else None
+        )
+        col = cm.round_traffic_columnar(sizes, edge_ids, group_rounds, retries=r)
+        return obj, col
+
+    @pytest.mark.parametrize("group_rounds", [1, 3])
+    def test_matches_object_path(self, group_rounds):
+        groups = [group(0, 0, 4), group(1, 0, 5), group(2, 1, 3), group(3, 2, 6)]
+        obj, col = self._both(groups, group_rounds)
+        assert col.download_bytes == pytest.approx(obj.download_bytes)
+        assert col.upload_bytes == pytest.approx(obj.upload_bytes)
+        assert col.total_bytes == pytest.approx(obj.total_bytes)
+
+    def test_matches_with_retries(self):
+        groups = [group(0, 0, 4), group(1, 1, 5)]
+        obj, col = self._both(groups, 2, retries={0: 3, 1: 1})
+        assert col.upload_bytes == pytest.approx(obj.upload_bytes)
+        assert col.total_bytes == pytest.approx(obj.total_bytes)
+
+    def test_shared_edge_dedup_preserved(self):
+        cm = make_model()
+        shared = cm.round_traffic_columnar(
+            np.array([4, 5]), np.array([0, 0]), group_rounds=2
+        )
+        split = cm.round_traffic_columnar(
+            np.array([4, 5]), np.array([0, 1]), group_rounds=2
+        )
+        assert split.download_bytes - shared.download_bytes == pytest.approx(
+            cm.model_bytes
+        )
+
+    def test_shape_mismatch_rejected(self):
+        cm = make_model()
+        with pytest.raises(ValueError, match="edge_ids"):
+            cm.round_traffic_columnar(np.array([4, 5]), np.array([0]), 1)
