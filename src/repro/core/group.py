@@ -15,10 +15,16 @@ import numpy as np
 
 from repro.core.aggregation import weighted_average
 from repro.core.client import run_local_rounds
-from repro.core.strategies import LocalStrategy
+from repro.core.strategies import (
+    FedProxStrategy,
+    LocalStrategy,
+    PlainSGDStrategy,
+    ScaffoldStrategy,
+)
 from repro.data.client_data import ClientDataset
 from repro.faults.trace import FaultEvent
 from repro.grouping.base import Group
+from repro.nn.batched import batched_local_rounds, supports_batched_training
 from repro.nn.model import Model
 from repro.nn.optim import SGD
 from repro.rng import make_rng
@@ -26,7 +32,42 @@ from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
 from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
-__all__ = ["run_group_round"]
+__all__ = ["run_group_round", "resolve_engine"]
+
+#: strategies whose batched hooks are verified bit-identical to the scalar
+#: path — ``engine="auto"`` only batches these; custom strategies must opt
+#: in explicitly with ``engine="batched"`` (their default
+#: ``batched_grad_offset`` delegates row-by-row, but ``after_local``
+#: ordering moves to after the lockstep loop, which a cross-client-coupled
+#: strategy could observe).
+_AUTO_BATCHED_STRATEGIES = (PlainSGDStrategy, FedProxStrategy, ScaffoldStrategy)
+
+
+def resolve_engine(
+    engine: str, model: Model, strategy: LocalStrategy | None
+) -> bool:
+    """Decide whether the batched engine replaces the per-client loop.
+
+    ``"reference"`` → never; ``"batched"`` → always (raises if the model
+    has layers the engine cannot stack); ``"auto"`` → only when the model
+    is stackable *and* the strategy is one of the in-tree trio.
+    """
+    if engine == "reference":
+        return False
+    if engine == "batched":
+        if not supports_batched_training(model):
+            raise ValueError(
+                "engine='batched' requires a Dense/ReLU/LeakyReLU model; "
+                "use engine='auto' or 'reference' for other architectures"
+            )
+        return True
+    if engine != "auto":
+        raise ValueError(
+            f"engine must be 'auto', 'batched' or 'reference', got {engine!r}"
+        )
+    return supports_batched_training(model) and (
+        strategy is None or type(strategy) in _AUTO_BATCHED_STRATEGIES
+    )
 
 
 def run_group_round(
@@ -52,6 +93,7 @@ def run_group_round(
     parent_span_id: int | None = None,
     fault_plan=None,
     fault_events: list | None = None,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Run the K×(clients×E) loop for one group; returns the group model.
 
@@ -97,9 +139,17 @@ def run_group_round(
         ``dropout_aggregator`` is set) — which uploads straggle, and which
         are lost on the uplink after retries. Injected faults are appended
         to ``fault_events`` (a plain list; the trainer merges and meters).
+    engine:
+        ``"auto"`` (default) trains the whole group through the stacked
+        :func:`repro.nn.batched.batched_local_rounds` engine whenever the
+        model and strategy support it — bit-identical to the per-client
+        loop; ``"batched"`` forces it (raising on unsupported models);
+        ``"reference"`` keeps the per-client loop (the retained slow path
+        differential tests compare against).
     """
     if not 0.0 <= dropout_prob < 1.0:
         raise ValueError(f"dropout_prob must be in [0, 1), got {dropout_prob}")
+    use_batched = resolve_engine(engine, model, strategy)
     tel = resolve_telemetry(telemetry)
     rng = make_rng(rng)
     members = [clients[int(cid)] for cid in group.members]
@@ -152,40 +202,86 @@ def run_group_round(
                 while len(members) - len(drop_phase) < min_alive and drop_phase:
                     del drop_phase[min(drop_phase)]
 
-            for idx, client in enumerate(members):
-                if drop_phase.get(idx) == "before":
-                    # Device died before training: no compute, no upload.
-                    # Zero update keeps downstream buffers well-defined.
-                    client_params[idx] = group_params
-                    if fault_events is not None:
-                        fault_events.append(FaultEvent(
-                            "dropout", round_id, gid, client.client_id, k, "before"
-                        ))
-                    continue
-                with tel.span("client_update", client_id=client.client_id, k=k):
-                    end, _ = run_local_rounds(
-                        model,
-                        optimizer,
-                        client,
-                        start_params=group_params,
-                        local_rounds=local_rounds,
-                        batch_size=batch_size,
-                        rng=client_rngs[idx],
-                        strategy=strategy,
-                        anchor=group_params,
-                        step_mode=step_mode,
-                        telemetry=tel,
-                    )
-                client_params[idx] = end
-                if drop_phase.get(idx) == "mid":
-                    # Died during local steps: compute burned, nothing
-                    # uploaded (the ledger still charges the group — that
-                    # wasted work is the point of the fault).
-                    client_params[idx] = group_params
-                    if fault_events is not None:
-                        fault_events.append(FaultEvent(
-                            "dropout", round_id, gid, client.client_id, k, "mid"
-                        ))
+            if use_batched:
+                # 'before'-drops never train (and never touch their RNG —
+                # same consumption as the reference loop); 'mid'-drops
+                # train, then their update is discarded below.
+                train_idx = [
+                    i for i in range(len(members))
+                    if drop_phase.get(i) != "before"
+                ]
+                if train_idx:
+                    with tel.span(
+                        "client_update", k=k, clients=len(train_idx),
+                        batched=True,
+                    ):
+                        ends = batched_local_rounds(
+                            model,
+                            optimizer,
+                            [members[i] for i in train_idx],
+                            start_params=group_params,
+                            local_rounds=local_rounds,
+                            batch_size=batch_size,
+                            rngs=[client_rngs[i] for i in train_idx],
+                            strategy=strategy,
+                            anchor=group_params,
+                            step_mode=step_mode,
+                            telemetry=tel,
+                        )
+                    for j, i in enumerate(train_idx):
+                        client_params[i] = ends[j]
+                # Fault events land in member order, 'before'/'mid'
+                # interleaved by index — the order the reference loop
+                # appends them in, so FaultTrace signatures match.
+                for idx, client in enumerate(members):
+                    phase = drop_phase.get(idx)
+                    if phase in ("before", "mid"):
+                        client_params[idx] = group_params
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "dropout", round_id, gid, client.client_id,
+                                k, phase,
+                            ))
+            else:
+                for idx, client in enumerate(members):
+                    if drop_phase.get(idx) == "before":
+                        # Device died before training: no compute, no
+                        # upload. Zero update keeps downstream buffers
+                        # well-defined.
+                        client_params[idx] = group_params
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "dropout", round_id, gid, client.client_id,
+                                k, "before",
+                            ))
+                        continue
+                    with tel.span(
+                        "client_update", client_id=client.client_id, k=k
+                    ):
+                        end, _ = run_local_rounds(
+                            model,
+                            optimizer,
+                            client,
+                            start_params=group_params,
+                            local_rounds=local_rounds,
+                            batch_size=batch_size,
+                            rng=client_rngs[idx],
+                            strategy=strategy,
+                            anchor=group_params,
+                            step_mode=step_mode,
+                            telemetry=tel,
+                        )
+                    client_params[idx] = end
+                    if drop_phase.get(idx) == "mid":
+                        # Died during local steps: compute burned, nothing
+                        # uploaded (the ledger still charges the group —
+                        # that wasted work is the point of the fault).
+                        client_params[idx] = group_params
+                        if fault_events is not None:
+                            fault_events.append(FaultEvent(
+                                "dropout", round_id, gid, client.client_id,
+                                k, "mid",
+                            ))
 
             # Per-round working views (the persistent client_params buffer
             # must never be rebound — the next k iteration refills it for

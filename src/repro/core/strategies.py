@@ -44,6 +44,28 @@ class LocalStrategy:
         """
         return None
 
+    def batched_grad_offset(
+        self, client_ids: list[int], params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-step offsets for B clients at once — the batched-engine hook.
+
+        ``params`` is the stacked ``(B, P)`` parameter matrix, row j
+        belonging to ``client_ids[j]``. Returns ``(B, P)`` offsets or None
+        when no client has one. The default delegates to
+        :meth:`grad_offset` row by row, so custom strategies batch
+        correctly (if slowly) without overriding; the built-ins override
+        with vectorized forms that match the scalar path bit for bit.
+        """
+        rows = [
+            self.grad_offset(cid, params[j], anchor)
+            for j, cid in enumerate(client_ids)
+        ]
+        if all(row is None for row in rows):
+            return None
+        return np.stack([
+            np.zeros_like(anchor) if row is None else row for row in rows
+        ])
+
     def after_local(
         self,
         client_id: int,
@@ -93,6 +115,15 @@ class FedProxStrategy(LocalStrategy):
             return None
         return self.mu * (params - anchor)
 
+    def batched_grad_offset(
+        self, client_ids: list[int], params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        # μ·(x − anchor) broadcasts over the stacked rows; elementwise, so
+        # identical bits to the per-client form.
+        if self.mu == 0.0:
+            return None
+        return self.mu * (params - anchor)
+
 
 class ScaffoldStrategy(LocalStrategy):
     """SCAFFOLD: control variates correct the local descent direction.
@@ -136,6 +167,18 @@ class ScaffoldStrategy(LocalStrategy):
         if self.c_global is None:
             raise RuntimeError("init_run was not called before training")
         return self.c_global - self._client_variate(client_id)
+
+    def batched_grad_offset(
+        self, client_ids: list[int], params: np.ndarray, anchor: np.ndarray
+    ) -> np.ndarray | None:
+        # c − c_i is constant over a client's local run and independent of
+        # ``params``; stacking the per-client rows reproduces the scalar
+        # path exactly.
+        if self.c_global is None:
+            raise RuntimeError("init_run was not called before training")
+        return np.stack([
+            self.c_global - self._client_variate(cid) for cid in client_ids
+        ])
 
     def after_local(
         self,

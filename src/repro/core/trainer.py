@@ -16,7 +16,9 @@ import copy
 import itertools
 import os
 import warnings
-from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -56,13 +58,51 @@ from repro.population import (
     get_active_population,
 )
 from repro.rng import derive_seed, make_rng
+from repro.shm import ShmChannel, ShmView
 from repro.sampling.probability import WEIGHT_FUNCTIONS
 from repro.sampling.sampler import AggregationMode, GroupSampler
 from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
 from repro.telemetry import NULL_TELEMETRY, Telemetry, resolve as resolve_telemetry
 
-__all__ = ["TrainerConfig", "GroupFELTrainer"]
+__all__ = ["TrainerConfig", "GroupFELTrainer", "engine_overrides_activated"]
+
+#: ambient round-engine overrides (see :func:`engine_overrides_activated`)
+_active_engine_overrides: dict | None = None
+
+
+@contextmanager
+def engine_overrides_activated(
+    *,
+    engine: str | None = None,
+    shared_memory: bool | None = None,
+    pipeline_rounds: bool | None = None,
+):
+    """Override round-engine knobs on every trainer built in the block.
+
+    The experiment generators construct their own :class:`TrainerConfig`;
+    this is how the CLI's ``--engine`` / ``--no-shared-memory`` /
+    ``--pipeline-rounds`` flags reach them without the generators knowing
+    about any of it (the same ambient pattern as ``parallel.activated``).
+    Only the knobs passed non-None are overridden; the trainer applies
+    them with ``dataclasses.replace``, never mutating the caller's config.
+    """
+    global _active_engine_overrides
+    overrides = {
+        k: v
+        for k, v in {
+            "engine": engine,
+            "shared_memory": shared_memory,
+            "pipeline_rounds": pipeline_rounds,
+        }.items()
+        if v is not None
+    }
+    previous = _active_engine_overrides
+    _active_engine_overrides = overrides
+    try:
+        yield overrides
+    finally:
+        _active_engine_overrides = previous
 
 
 @dataclass
@@ -108,6 +148,19 @@ class TrainerConfig:
     use_backdoor_defense: bool = False
     client_dropout_prob: float = 0.0
     parallel_backend: str = "serial"
+    #: local-training engine: "auto" uses the stacked batched engine
+    #: (repro.nn.batched) whenever the model/strategy support it,
+    #: "batched" forces it, "reference" keeps the per-client loop
+    engine: str = "auto"
+    #: process backend only: move global params and group results through
+    #: multiprocessing.shared_memory rings instead of per-task pickles
+    #: (falls back to pickling transparently if shared memory is
+    #: unavailable)
+    shared_memory: bool = True
+    #: overlap round t's evaluation + checkpoint writes with round t+1's
+    #: group compute on a single background thread (bit-identical history;
+    #: opt-in)
+    pipeline_rounds: bool = False
     faults: FaultPlan | str | None = None
     population: PopulationModel | str | None = None
     checkpoint_every: int | None = None
@@ -146,6 +199,11 @@ class TrainerConfig:
             raise ValueError(
                 f"parallel_backend must be one of {available_backends()}, "
                 f"got {self.parallel_backend!r}"
+            )
+        if self.engine not in ("auto", "batched", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'batched' or 'reference', "
+                f"got {self.engine!r}"
             )
         known_sampling = ("random", *sorted(WEIGHT_FUNCTIONS))
         if self.sampling_method not in known_sampling:
@@ -209,6 +267,7 @@ class _WorkerContext:
     compressor: object = None
     attackers: dict = field(default_factory=dict)
     fault_plan: FaultPlan | None = None
+    engine: str = "auto"
 
 
 @dataclass
@@ -219,12 +278,18 @@ class _GroupTask:
     token: str
     group: Group
     rng: np.random.Generator
-    global_params: np.ndarray
+    #: the round's global model — a plain array (pickled with the task) or,
+    #: on the shared-memory path, a :class:`repro.shm.ShmView` descriptor
+    #: the worker resolves against the params ring
+    global_params: np.ndarray | ShmView
     round_idx: int
     #: columnar path only: this group's lazily-materialized clients
     #: (zero-copy views in-process; pickled by the pool for workers —
     #: only the ~|g| sampled clients cross, never the population)
     clients: dict | None = None
+    #: shared-memory path only: the result-ring slot this task's group
+    #: model is written to (the worker then returns ``None`` params)
+    result: ShmView | None = None
 
 
 def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent]]:
@@ -254,12 +319,18 @@ def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent
     compressor = copy.deepcopy(ctx.compressor) if ctx.compressor is not None else None
     events: list[FaultEvent] = []
     clients = task.clients if task.clients is not None else ctx.clients
+    global_params = task.global_params
+    if isinstance(global_params, ShmView):
+        # Zero-copy receive: map the parent's params ring instead of
+        # unpickling a P-sized array (run_group_round copies immediately,
+        # so the view never outlives the slot's validity).
+        global_params = global_params.resolve()
     params = run_group_round(
         model,
         optimizer,
         task.group,
         clients,
-        task.global_params,
+        global_params,
         group_rounds=ctx.group_rounds,
         local_rounds=ctx.local_rounds,
         batch_size=ctx.batch_size,
@@ -276,7 +347,14 @@ def _process_group_worker(task: _GroupTask) -> tuple[np.ndarray, list[FaultEvent
         telemetry=NULL_TELEMETRY,
         fault_plan=ctx.fault_plan,
         fault_events=events,
+        engine=ctx.engine,
     )
+    if task.result is not None:
+        # Zero-copy return: write the group model into this task's shared-
+        # memory slot; only the (slot descriptor, events) pickle crosses
+        # back to the parent.
+        task.result.resolve()[:] = params
+        return None, events
     return params, events
 
 
@@ -385,6 +463,10 @@ class GroupFELTrainer:
             )
         self.groups = list(groups)
         self.config = config or TrainerConfig()
+        if _active_engine_overrides:
+            # CLI-level round-engine knobs (see engine_overrides_activated);
+            # replace() keeps the caller's config object untouched.
+            self.config = replace(self.config, **_active_engine_overrides)
         self.cost_model = cost_model or CostModel(
             training=LinearCost(c1=1.0), group_op=QuadraticCost(c2=1.0)
         )
@@ -531,6 +613,18 @@ class GroupFELTrainer:
             )
             self._owns_pool = True
         self._closed = False
+        #: shared-memory dispatch channel (process backend, built lazily on
+        #: first process-pool round; None after a setup failure)
+        self._shm: ShmChannel | None = None
+        self._shm_failed = False
+        #: pipelined-rounds state: the single background worker (created
+        #: per run()) and its not-yet-joined futures
+        self._pipeline_pending: list = []
+        self._eval_model: Model | None = None
+        #: span id of the most recently *finished* round — the async
+        #: evaluation of round t parents its span here so the span tree
+        #: stays per-round even when the eval overlaps round t+1
+        self._last_round_span_id: int | None = None
         #: worker-state registration token; unique per trainer instance
         self._worker_token = f"trainer/{label}/{next(_TOKEN_COUNTER)}"
         if self._pmap.backend == "process":
@@ -593,6 +687,7 @@ class GroupFELTrainer:
             compressor=self.compressor,
             attackers=self.attackers,
             fault_plan=self.fault_plan,
+            engine=cfg.engine,
         )
 
     def _fresh_model_and_optimizer(self) -> tuple[Model, SGD]:
@@ -613,7 +708,8 @@ class GroupFELTrainer:
         return model, optimizer
 
     def close(self) -> None:
-        """Release the parallel pool (shut down if owned). Idempotent."""
+        """Release the parallel pool (shut down if owned) and any
+        shared-memory dispatch segments. Idempotent."""
         if self._closed:
             return
         self._closed = True
@@ -621,6 +717,9 @@ class GroupFELTrainer:
             self._pmap.close()
         else:
             self._pmap.unregister_worker_state(self._worker_token)
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
 
     def __enter__(self) -> "GroupFELTrainer":
         return self
@@ -762,6 +861,7 @@ class GroupFELTrainer:
             parent_span_id=parent_span_id,
             fault_plan=self.fault_plan,
             fault_events=events,
+            engine=self.config.engine,
         )
         return params, events
 
@@ -772,21 +872,52 @@ class GroupFELTrainer:
             return self.fed.materialize(group.members)
         return self.fed.clients
 
-    def _group_task(self, group: Group, rng: np.random.Generator) -> _GroupTask:
+    def _group_task(
+        self,
+        group: Group,
+        rng: np.random.Generator,
+        global_params: "np.ndarray | ShmView | None" = None,
+        result: ShmView | None = None,
+    ) -> _GroupTask:
         """The small per-round dispatch delta (see :class:`_WorkerContext`).
 
         On the columnar path the task also carries the group's materialized
         clients — current as of this round, so label drift needs no worker
-        re-shipping — and only those ~|g| clients ever cross the pool.
+        re-shipping — and only those ~|g| clients ever cross the pool. On
+        the shared-memory path ``global_params`` is a ring descriptor and
+        ``result`` names the slot the worker writes the group model to.
         """
         return _GroupTask(
             token=self._worker_token,
             group=group,
             rng=rng,
-            global_params=self.global_params,
+            global_params=(
+                self.global_params if global_params is None else global_params
+            ),
             round_idx=self.round_idx,
             clients=self.fed.materialize(group.members) if self._columnar else None,
+            result=result,
         )
+
+    def _shm_channel(self) -> ShmChannel | None:
+        """The lazily-built shared-memory dispatch channel, or None when
+        disabled by config or unavailable on this platform (in which case
+        dispatch transparently falls back to per-task pickles)."""
+        if not self.config.shared_memory or self._shm_failed:
+            return None
+        if self._shm is None:
+            try:
+                self._shm = ShmChannel(self.model.num_params)
+            except Exception as exc:
+                self._shm_failed = True
+                warnings.warn(
+                    f"shared-memory dispatch unavailable ({exc!r}); process "
+                    "backend falls back to per-task pickles",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
+        return self._shm
 
     def train_round(self) -> float:
         """Execute one global round (Lines 6–15); returns its cost."""
@@ -827,8 +958,11 @@ class GroupFELTrainer:
             self.sampled_history.append(selected)
             group_rngs = self.rng.spawn(len(selected))
             # Worker threads have their own span stacks; hand them the round
-            # span's id so group spans still parent correctly.
+            # span's id so group spans still parent correctly. The pipeline
+            # thread later parents this round's deferred evaluation here
+            # too, keeping the span tree per-round under overlap.
             round_span_id = tel.current_span_id()
+            self._last_round_span_id = round_span_id
 
             # SCAFFOLD mutates shared control-variate state per client; run
             # its groups serially regardless of the configured backend.
@@ -858,11 +992,37 @@ class GroupFELTrainer:
                 # Process pool: the dataset/model factory already live in
                 # the workers (one-time registration); ship only the small
                 # per-round deltas (group ops are rebuilt in the worker;
-                # spans stay parent-side).
+                # spans stay parent-side). With shared memory, the global
+                # params go out and the group models come back through shm
+                # rings — each task pickle carries two ~100-byte slot
+                # descriptors instead of two P-sized float64 arrays.
+                channel = self._shm_channel()
+                if channel is not None:
+                    params_ref: np.ndarray | ShmView = channel.publish_params(
+                        self.global_params
+                    )
+                    slots: list[ShmView | None] = channel.result_slots(
+                        len(selected)
+                    )
+                else:
+                    params_ref = self.global_params
+                    slots = [None] * len(selected)
                 tasks = [
-                    self._group_task(g, r) for g, r in zip(selected, group_rngs)
+                    self._group_task(g, r, global_params=params_ref, result=s)
+                    for g, r, s in zip(selected, group_rngs, slots)
                 ]
                 results = self._pmap.map(_process_group_worker, tasks)
+                if channel is not None:
+                    # Workers signalled the zero-copy path with None params;
+                    # read their slots (np.vstack below copies, freeing the
+                    # ring for the next round).
+                    results = [
+                        (
+                            channel.result_array(i) if params is None else params,
+                            events,
+                        )
+                        for i, (params, events) in enumerate(results)
+                    ]
 
             group_models = [params for params, _ in results]
             for _, events in results:
@@ -1013,6 +1173,54 @@ class GroupFELTrainer:
         loss, acc = self.evaluate()
         self.history.record(self.round_idx, cost, acc, loss)
 
+    # ------------------------------------------------------------ pipelining
+    def _drain_pipeline(self) -> None:
+        """Join all in-flight pipeline work, re-raising its exceptions."""
+        pending, self._pipeline_pending = self._pipeline_pending, []
+        for future in pending:
+            future.result()
+
+    def _pipeline_record(
+        self,
+        round_idx: int,
+        cost: float,
+        params: np.ndarray,
+        budget: float | None,
+        parent_id: int | None,
+    ) -> None:
+        """Round-t evaluation, run on the pipeline thread during round t+1.
+
+        ``cost`` and ``params`` were snapshotted at round-t's boundary, so
+        the recorded point is identical to the synchronous path's; a
+        dedicated eval model keeps ``self.model`` untouched while the main
+        thread trains. Budget-overshooting points are skipped exactly like
+        :meth:`_record_checkpoint` (the degenerate clamped-first-round case
+        is final-only and always handled synchronously after the drain).
+        """
+        if budget is not None and cost > budget:
+            return
+        if self._eval_model is None:
+            self._eval_model = self.model_fn()
+        with self.telemetry.span(
+            "evaluate", parent_id=parent_id, round=round_idx, pipelined=True
+        ):
+            self._eval_model.set_params(params)
+            loss, acc = self._eval_model.evaluate(self.fed.test.x, self.fed.test.y)
+        self.history.record(round_idx, cost, acc, loss)
+
+    def _pipeline_save(
+        self, state: dict, meta: dict, round_idx: int, parent_id: int | None
+    ) -> str:
+        """Round-t checkpoint write, run on the pipeline thread.
+
+        Only the file I/O overlaps; :func:`capture_state` already ran
+        synchronously at the round boundary (the snapshot must precede any
+        round-t+1 mutation)."""
+        with self.telemetry.span(
+            "checkpoint_save", parent_id=parent_id, round=round_idx, pipelined=True
+        ):
+            return self.checkpoint_manager.save(state, round_idx, meta=meta)
+
     def run(
         self,
         max_rounds: int | None = None,
@@ -1035,24 +1243,90 @@ class GroupFELTrainer:
         budget = cost_budget if cost_budget is not None else self.config.cost_budget
         for cb in self.callbacks:
             cb.on_train_start(self)
-        stopped = False
-        while self.round_idx < max_rounds and not stopped:
-            if budget is not None and self.ledger.total >= budget:
-                break
-            self.train_round()
-            if (
-                self.round_idx % self.config.eval_every == 0
-                or self.round_idx >= max_rounds
-            ):
-                self._record_checkpoint(budget)
-            if (
-                self.checkpoint_manager is not None
-                and self.checkpoint_manager.should_save(self.round_idx)
-            ):
-                self.save_checkpoint()
-            for cb in self.callbacks:
-                if cb.on_round_end(self, self.round_idx):
-                    stopped = True
+        # Pipelined rounds: round t's evaluation and checkpoint file write
+        # run on this single background thread while round t+1's group
+        # compute proceeds on the main thread. One worker keeps the deferred
+        # work FIFO, so history points land in round order and curves are
+        # bit-identical to the synchronous path.
+        executor: ThreadPoolExecutor | None = None
+        if self.config.pipeline_rounds:
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-pipeline"
+            )
+        try:
+            stopped = False
+            while self.round_idx < max_rounds and not stopped:
+                if budget is not None and self.ledger.total >= budget:
+                    break
+                self.train_round()
+                if (
+                    self.round_idx % self.config.eval_every == 0
+                    or self.round_idx >= max_rounds
+                ):
+                    if executor is not None:
+                        # Snapshot the round boundary now; the next round
+                        # rebinds global_params and charges the ledger.
+                        self._pipeline_pending.append(
+                            executor.submit(
+                                self._pipeline_record,
+                                self.round_idx,
+                                self.ledger.total,
+                                self.global_params,
+                                budget,
+                                self._last_round_span_id,
+                            )
+                        )
+                    else:
+                        self._record_checkpoint(budget)
+                if (
+                    self.checkpoint_manager is not None
+                    and self.checkpoint_manager.should_save(self.round_idx)
+                ):
+                    if executor is not None:
+                        # State capture cannot overlap training; only the
+                        # atomic file write is deferred. A deferred history
+                        # record may still be in flight — it belongs in this
+                        # checkpoint (the synchronous path records before
+                        # saving), so join it before capturing.
+                        self._drain_pipeline()
+                        meta = {
+                            "label": self.label,
+                            "round_idx": self.round_idx,
+                            "config": config_fingerprint(
+                                self.config, grouper=self.grouper
+                            ),
+                        }
+                        state = capture_state(self)
+                        self._pipeline_pending.append(
+                            executor.submit(
+                                self._pipeline_save,
+                                state,
+                                meta,
+                                self.round_idx,
+                                self._last_round_span_id,
+                            )
+                        )
+                    else:
+                        self.save_checkpoint()
+                if self.callbacks:
+                    # Callbacks observe the trainer (history included); give
+                    # them the fully-recorded state the serial path would.
+                    self._drain_pipeline()
+                for cb in self.callbacks:
+                    if cb.on_round_end(self, self.round_idx):
+                        stopped = True
+            self._drain_pipeline()
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+                # Surface any async failure even on an exceptional exit —
+                # without masking an exception already in flight.
+                pending, self._pipeline_pending = self._pipeline_pending, []
+                for future in pending:
+                    try:
+                        future.result()
+                    except Exception:
+                        pass
         if budget is not None and self.ledger.total >= budget:
             self.history.extra["budget_exhausted"] = True
             self.history.extra["budget_overshoot"] = max(

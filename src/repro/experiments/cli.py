@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments fig9 --faults dropout:0.2,straggler:0.1:2.0
     python -m repro.experiments fig9 --population start:0.8,join:0.5,leave:0.02
     python -m repro.experiments fig9 --parallel process:4
+    python -m repro.experiments fig9 --engine reference --pipeline-rounds
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9 --resume
     python -m repro.experiments list
@@ -21,6 +22,7 @@ import sys
 from contextlib import ExitStack
 
 from repro.checkpoint import CheckpointPolicy, checkpointing_activated
+from repro.core.trainer import engine_overrides_activated
 from repro.faults import FaultPlan, plan_activated
 from repro.parallel import ParallelMap, activated as parallel_activated
 from repro.population import PopulationModel, population_activated
@@ -101,6 +103,30 @@ def main(argv: list[str] | None = None) -> int:
         "'serial', 'thread', 'process', optionally with a worker count "
         "(e.g. 'process:4'). Every trainer the target constructs reuses "
         "the pool; it is closed when the run finishes.",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "batched", "reference"],
+        default=None,
+        help="local-training engine for every trainer the target constructs: "
+        "'auto' (default) stacks same-architecture client updates into one "
+        "batched forward/backward when the model/strategy support it, "
+        "'batched' forces that and errors if unsupported, 'reference' keeps "
+        "the per-client loop (the bit-identical golden path)",
+    )
+    parser.add_argument(
+        "--pipeline-rounds",
+        action="store_true",
+        help="overlap each round's evaluation and checkpoint write with the "
+        "next round's group compute on a background thread; histories and "
+        "checkpoints stay bit-identical to the synchronous schedule",
+    )
+    parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="process backend only: disable the shared-memory rings that "
+        "carry global params and group results, falling back to per-task "
+        "pickles (the pre-fix dispatch path; useful for debugging)",
     )
     parser.add_argument(
         "--checkpoint-dir",
@@ -208,6 +234,12 @@ def main(argv: list[str] | None = None) -> int:
     # the telemetry instance / fault plan / shared worker pool without the
     # generators knowing about any of them.
     with ExitStack() as stack:
+        if args.engine or args.pipeline_rounds or args.no_shared_memory:
+            stack.enter_context(engine_overrides_activated(
+                engine=args.engine,
+                pipeline_rounds=args.pipeline_rounds or None,
+                shared_memory=False if args.no_shared_memory else None,
+            ))
         if telemetry is not None:
             stack.enter_context(activated(telemetry))
         if fault_plan is not None:

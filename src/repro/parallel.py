@@ -225,15 +225,25 @@ class ParallelMap:
         process pool is already live, it is shut down and lazily rebuilt on
         the next ``map`` so the new state reaches fresh workers — register
         *before* the first dispatch to keep the one-startup guarantee.
+
+        The closed-check, state write, and executor swap-out all happen
+        under the pool lock: ``_ensure_executor`` snapshots the state dict
+        under the same lock, so a concurrent ``map`` can no longer lazily
+        build a stale-state executor between this method's check and its
+        swap (it either builds before the swap — and the swap tears that
+        executor down — or after, seeing the new state). Only the blocking
+        ``shutdown`` runs outside the lock.
         """
-        if self._closed:
-            raise RuntimeError("ParallelMap is closed")
-        self._state[token] = payload
-        _WORKER_STATE[token] = payload
-        if self.backend == "process" and self._executor is not None:
-            with self._lock:
-                ex, self._executor = self._executor, None
-            ex.shutdown(wait=True)
+        stale = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ParallelMap is closed")
+            self._state[token] = payload
+            _WORKER_STATE[token] = payload
+            if self.backend == "process":
+                stale, self._executor = self._executor, None
+        if stale is not None:
+            stale.shutdown(wait=True)
 
     def unregister_worker_state(self, token: str) -> None:
         """Drop a registered payload (live workers keep a harmless copy)."""

@@ -84,6 +84,74 @@ class TestPopulationFlag:
         assert records["meta"][0]["population"] == "leave:0.01"
 
 
+class TestEngineFlags:
+    def test_overrides_reach_trainer_and_leave_config_untouched(self):
+        import repro.core.trainer as trainer_mod
+        from repro.core.trainer import TrainerConfig, engine_overrides_activated
+
+        cfg = TrainerConfig()
+        with engine_overrides_activated(
+            engine="reference", pipeline_rounds=True, shared_memory=False
+        ):
+            assert trainer_mod._active_engine_overrides == {
+                "engine": "reference",
+                "pipeline_rounds": True,
+                "shared_memory": False,
+            }
+        # The block is the whole lifetime; outside, nothing lingers and the
+        # caller's config object was never mutated.
+        assert trainer_mod._active_engine_overrides is None
+        assert cfg.engine == "auto"
+        assert cfg.shared_memory and not cfg.pipeline_rounds
+
+    def test_trainer_picks_up_overrides(self, small_fed, small_edges):
+        import functools
+
+        from repro.core.trainer import (
+            GroupFELTrainer,
+            TrainerConfig,
+            engine_overrides_activated,
+        )
+        from repro.grouping import CoVGrouping, group_clients_per_edge
+        from repro.nn import make_mlp
+
+        groups = group_clients_per_edge(
+            CoVGrouping(3, 1.0), small_fed.L, small_edges, rng=0
+        )
+        cfg = TrainerConfig(max_rounds=1)
+        with engine_overrides_activated(engine="reference", pipeline_rounds=True):
+            trainer = GroupFELTrainer(
+                functools.partial(make_mlp, 192, 10, seed=0),
+                small_fed, groups, cfg,
+            )
+        try:
+            assert trainer.config.engine == "reference"
+            assert trainer.config.pipeline_rounds is True
+            assert trainer.config.shared_memory is True  # untouched knob
+            assert cfg.engine == "auto"  # caller's object not mutated
+        finally:
+            trainer.close()
+
+    def test_partial_override_keeps_other_knobs(self):
+        from repro.core.trainer import engine_overrides_activated
+
+        with engine_overrides_activated(engine="batched") as overrides:
+            assert overrides == {"engine": "batched"}
+
+    def test_cli_flags_deactivated_after_run(self, capsys):
+        import repro.core.trainer as trainer_mod
+
+        assert main(["fig5", "--scale", "fast", "--engine", "reference",
+                     "--pipeline-rounds", "--no-shared-memory"]) == 0
+        capsys.readouterr()
+        assert trainer_mod._active_engine_overrides is None
+
+    def test_bad_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--engine", "turbo"])
+        assert "invalid choice" in capsys.readouterr().err
+
+
 class TestCheckpointFlags:
     def test_resume_requires_checkpoint_dir(self, capsys):
         assert main(["fig5", "--resume"]) == 2

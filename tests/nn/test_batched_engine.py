@@ -1,0 +1,229 @@
+"""Differential suite: the batched training engine vs the per-client loop.
+
+``repro.nn.batched`` replaces ``run_local_rounds`` called in a Python loop
+with one stacked (B, n, d) forward/backward over a whole group. The engine
+is only admissible because it is *bit-identical* to the reference — every
+test here asserts exact equality (``np.array_equal``), never closeness:
+
+* end-of-round parameters, across seeds x strategies x step modes,
+* strategy side-state (FedProx is stateless, SCAFFOLD's control variates
+  must match byte for byte, including dict insertion order),
+* full ``run_group_round`` outputs under compression and fault injection,
+  where the injected ``FaultTrace`` signatures must also match.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compression import TopKCompressor
+from repro.core.client import run_local_rounds
+from repro.core.group import resolve_engine, run_group_round
+from repro.core.strategies import (
+    FedProxStrategy,
+    PlainSGDStrategy,
+    ScaffoldStrategy,
+)
+from repro.data import FederatedDataset, SyntheticImage
+from repro.faults import FaultPlan, FaultTrace
+from repro.grouping import Group
+from repro.nn import SGD, make_mlp
+from repro.nn.batched import batched_local_rounds, supports_batched_training
+from repro.nn.optim import CosineLR, StepLR
+from repro.telemetry import Telemetry
+
+NUM_CLASSES = 10
+FEATURES = 192
+
+
+@pytest.fixture(scope="module")
+def fed() -> FederatedDataset:
+    data = SyntheticImage(noise_std=2.0, seed=0)
+    train, test = data.train_test(2000, 200)
+    return FederatedDataset.from_dataset(
+        train, test, num_clients=8, alpha=0.3, size_low=20, size_high=50, rng=1
+    )
+
+
+def _strategy(name: str, num_params: int, num_clients: int):
+    s = {
+        "plain": PlainSGDStrategy,
+        "fedprox": lambda: FedProxStrategy(mu=0.1),
+        "scaffold": ScaffoldStrategy,
+    }[name]()
+    s.init_run(num_params, num_clients)
+    return s
+
+
+def _both_paths(fed, *, hidden=(16,), seed=0, strategy_name="plain",
+                momentum=0.9, weight_decay=1e-4, lr=0.05, step_mode="epoch",
+                local_rounds=2, batch_size=16):
+    """(reference params, batched params, reference state, batched state)."""
+    clients = fed.clients
+    outs = []
+    states = []
+    for engine in ("reference", "batched"):
+        model = make_mlp(FEATURES, NUM_CLASSES, hidden=hidden, seed=seed)
+        optimizer = SGD(model, lr=lr, momentum=momentum,
+                        weight_decay=weight_decay)
+        strategy = _strategy(strategy_name, model.num_params, len(clients))
+        start = model.get_params().copy()
+        rngs = list(np.random.default_rng(seed + 100).spawn(len(clients)))
+        if engine == "reference":
+            ends = []
+            for c, r in zip(clients, rngs):
+                params, _ = run_local_rounds(
+                    model, optimizer, c, start, local_rounds, batch_size,
+                    rng=r, strategy=strategy, anchor=start,
+                    step_mode=step_mode,
+                )
+                ends.append(params)
+            result = np.stack(ends)
+        else:
+            result = batched_local_rounds(
+                model, optimizer, clients, start, local_rounds, batch_size,
+                rngs=rngs, strategy=strategy, anchor=start,
+                step_mode=step_mode,
+            )
+        outs.append(result)
+        states.append(pickle.dumps(strategy.state_dict()))
+    return outs[0], outs[1], states[0], states[1]
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("strategy_name", ["plain", "fedprox", "scaffold"])
+    def test_bitwise_equal_across_strategies(self, fed, seed, strategy_name):
+        ref, fast, ref_state, fast_state = _both_paths(
+            fed, seed=seed, strategy_name=strategy_name
+        )
+        assert np.array_equal(ref, fast)
+        assert ref_state == fast_state
+
+    @pytest.mark.parametrize("step_mode", ["epoch", "batch"])
+    def test_bitwise_equal_across_step_modes(self, fed, step_mode):
+        ref, fast, _, _ = _both_paths(fed, step_mode=step_mode)
+        assert np.array_equal(ref, fast)
+
+    def test_bitwise_equal_without_momentum_or_decay(self, fed):
+        ref, fast, _, _ = _both_paths(fed, momentum=0.0, weight_decay=0.0)
+        assert np.array_equal(ref, fast)
+
+    @pytest.mark.parametrize("lr", [
+        StepLR(0.1, step_size=3, gamma=0.5),
+        CosineLR(0.1, total_steps=20),
+    ], ids=["step", "cosine"])
+    def test_bitwise_equal_under_lr_schedules(self, fed, lr):
+        ref, fast, _, _ = _both_paths(fed, lr=lr)
+        assert np.array_equal(ref, fast)
+
+    def test_bitwise_equal_softmax_regression(self, fed):
+        # hidden=() exercises the no-hidden-layer plan (single Dense).
+        ref, fast, _, _ = _both_paths(fed, hidden=())
+        assert np.array_equal(ref, fast)
+
+    def test_bitwise_equal_deep_mlp(self, fed):
+        ref, fast, _, _ = _both_paths(fed, hidden=(32, 16))
+        assert np.array_equal(ref, fast)
+
+
+class TestEngineSelection:
+    def test_mlp_supported(self):
+        assert supports_batched_training(make_mlp(FEATURES, 10, hidden=(16,)))
+
+    def test_conv_model_unsupported(self):
+        from repro.nn import make_audio_cnn
+
+        assert not supports_batched_training(make_audio_cnn())
+
+    def test_resolve_auto_falls_back_for_unsupported_model(self):
+        from repro.nn import make_audio_cnn
+
+        assert resolve_engine("auto", make_audio_cnn(), None) is False
+
+    def test_resolve_batched_raises_for_unsupported_model(self):
+        from repro.nn import make_audio_cnn
+
+        with pytest.raises(ValueError, match="batched"):
+            resolve_engine("batched", make_audio_cnn(), None)
+
+    def test_resolve_auto_falls_back_for_custom_strategy(self):
+        class Custom(PlainSGDStrategy):
+            pass
+
+        model = make_mlp(FEATURES, 10, hidden=(16,))
+        # Subclasses may override hooks the lockstep schedule cannot
+        # replicate; auto must take the reference path, force must obey.
+        assert resolve_engine("auto", model, Custom()) is False
+        assert resolve_engine("batched", model, Custom()) is True
+
+
+class TestGroupRoundParity:
+    def _group_round(self, fed, engine, **kwargs):
+        model = make_mlp(FEATURES, NUM_CLASSES, hidden=(16,), seed=0)
+        optimizer = SGD(model, lr=0.05, momentum=0.9, weight_decay=1e-4)
+        group = Group(group_id=0, edge_id=0,
+                      members=list(range(len(fed.clients))),
+                      label_counts=fed.L.sum(axis=0))
+        global_params = model.get_params().copy()
+        events: list = []
+        params = run_group_round(
+            model, optimizer, group, fed.clients, global_params,
+            group_rounds=2, local_rounds=1, batch_size=16, rng=7,
+            engine=engine, fault_events=events, **kwargs,
+        )
+        trace = FaultTrace()
+        trace.extend(events)
+        return params, trace.signature()
+
+    def test_plain_round_parity(self, fed):
+        ref = self._group_round(fed, "reference")
+        fast = self._group_round(fed, "batched")
+        assert np.array_equal(ref[0], fast[0])
+
+    def test_compressed_round_parity(self, fed):
+        ref = self._group_round(fed, "reference", compressor=TopKCompressor(0.3))
+        fast = self._group_round(fed, "batched", compressor=TopKCompressor(0.3))
+        assert np.array_equal(ref[0], fast[0])
+
+    def test_faulted_round_parity(self, fed):
+        plan = FaultPlan.from_spec(
+            "dropout:0.4@before,straggler:0.5:0.5,loss:0.2", seed=3
+        )
+        ref = self._group_round(fed, "reference", fault_plan=plan)
+        fast = self._group_round(fed, "batched", fault_plan=plan)
+        assert np.array_equal(ref[0], fast[0])
+        assert ref[1] == fast[1], "fault traces diverged between engines"
+
+    def test_mid_dropout_round_parity(self, fed):
+        plan = FaultPlan.from_spec("dropout:0.5@mid", seed=9)
+        ref = self._group_round(fed, "reference", fault_plan=plan)
+        fast = self._group_round(fed, "batched", fault_plan=plan)
+        assert np.array_equal(ref[0], fast[0])
+        assert ref[1] == fast[1]
+
+
+class TestBatchedTelemetry:
+    def test_one_client_update_span_per_group_round(self, fed):
+        tel = Telemetry(label="batched")
+        model = make_mlp(FEATURES, NUM_CLASSES, hidden=(16,), seed=0)
+        optimizer = SGD(model, lr=0.05)
+        group = Group(group_id=0, edge_id=0,
+                      members=list(range(len(fed.clients))),
+                      label_counts=fed.L.sum(axis=0))
+        run_group_round(
+            model, optimizer, group, fed.clients, model.get_params().copy(),
+            group_rounds=3, local_rounds=1, batch_size=16, rng=7,
+            engine="batched", telemetry=tel,
+        )
+        spans = [s for s in tel.tracer.spans() if s.name == "client_update"]
+        assert len(spans) == 3  # one per k, not one per client
+        assert all(s.attrs["clients"] == len(fed.clients) for s in spans)
+        assert all(s.attrs["batched"] for s in spans)
+        # The per-client counter still reflects every client trained.
+        assert tel.metrics.counter("client_updates").value == 3 * len(
+            fed.clients
+        )

@@ -91,6 +91,76 @@ class TestPoolLifecycle:
             # ...and the rebuilt pool's workers were initialized once.
             assert pm.map(worker_init_count, range(4)) == [1] * 4
 
+    def test_register_during_lazy_build_never_leaves_stale_state(
+        self, monkeypatch
+    ):
+        """Regression: ``register_worker_state`` used to check-and-swap the
+        executor outside the pool lock. A concurrent ``map`` could snapshot
+        the state dict, lose the GIL, and assign its freshly-built executor
+        *after* the register saw ``None`` — leaving a live pool whose
+        workers never received the payload. The check, state write, and
+        swap now all happen under the lock, so the register either reaches
+        the snapshot or tears the stale executor down."""
+        import threading
+        from concurrent.futures import Future
+
+        import repro.parallel as par
+
+        built: list = []
+        build_started = threading.Event()
+        resume_build = threading.Event()
+
+        class SlowBuildExecutor:
+            """Stands in for ProcessPoolExecutor; pauses mid-construction
+            (i.e. while ``_ensure_executor`` holds the pool lock) so the
+            racing register arrives at the worst possible moment."""
+
+            def __init__(self, max_workers=None, initializer=None,
+                         initargs=()):
+                self.state = dict(initargs[0]) if initargs else {}
+                self.is_shutdown = False
+                built.append(self)
+                build_started.set()
+                resume_build.wait(timeout=5)
+
+            def submit(self, fn, item):
+                future: Future = Future()
+                future.set_result(fn(item))
+                return future
+
+            def shutdown(self, wait=True):
+                self.is_shutdown = True
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", SlowBuildExecutor)
+        pmap = par.ParallelMap("process", max_workers=1)
+        try:
+            mapper = threading.Thread(target=pmap.map, args=(_square, [1]))
+            mapper.start()
+            assert build_started.wait(timeout=5)
+            register = threading.Thread(
+                target=pmap.register_worker_state, args=("tok", {"value": 1})
+            )
+            register.start()
+            # The fixed code holds the lock across the build, so the
+            # register must block here instead of slipping past a None
+            # executor check.
+            register.join(timeout=0.3)
+            raced_past_the_build = not register.is_alive()
+            resume_build.set()
+            mapper.join(timeout=5)
+            register.join(timeout=5)
+            assert not raced_past_the_build
+            # Whoever won, the next dispatch runs on an executor that has
+            # the payload...
+            pmap.map(_square, [2])
+            assert "tok" in built[-1].state
+            # ...and every executor built without it was torn down.
+            for executor in built:
+                if "tok" not in executor.state:
+                    assert executor.is_shutdown
+        finally:
+            pmap.close()
+
     def test_missing_worker_state_raises(self):
         with pytest.raises(RuntimeError, match="no worker state"):
             worker_state("never-registered")
