@@ -1,0 +1,154 @@
+"""Sampling axis: estimator variance vs Γ against the scheme taxonomy.
+
+For each scheme (multinomial / sequential_wor / stratified) and each
+probability method (esrcov vs the variance-optimal p*), measure the
+empirical variance of the unbiased aggregate estimator
+Σ_{g∈S_t} m_g·(n_g/n)/α_g · x_g over simulated rounds, alongside the
+theory quantities Γ_p = Σ 1/p_g and Γ_α = Σ 1/α_g, at |G| ∈ {10, 50, 200}.
+
+The qualitative claims asserted (orderings, not absolute numbers):
+
+* every scheme/method pair is unbiased — the empirical mean lands within
+  CLT tolerance of the full-participation aggregate;
+* stratification never hurts: per p-vector, the stratified estimator's
+  variance is at most the multinomial one's (plus generous CI slack) —
+  one draw per mass-balanced stratum removes the between-strata
+  component;
+* the variance-optimal p* beats esrcov's CoV-derived p for the same
+  scheme (p* minimizes the size-weighted second moment by design).
+
+Folds a ``sampling`` axis into ``BENCH_hotpaths.json`` (preserving the
+axes written by the other benchmarks). Smoke mode (``REPRO_BENCH_SMOKE=1``)
+trims the group-count sweep and the round counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.grouping import Group
+from repro.sampling import (
+    GroupSampler,
+    variance_optimal_probabilities,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+GROUP_COUNTS = [10, 50] if SMOKE else [10, 50, 200]
+ROUNDS = 2_000 if SMOKE else 10_000
+SIZE = 3  # |S_t|
+OUT_PATH = Path(__file__).parents[1] / "BENCH_hotpaths.json"
+
+SCHEMES = ["multinomial", "sequential_wor", "stratified"]
+METHODS = ["esrcov", "varopt"]
+
+
+def _make_groups(num_groups: int, seed: int) -> list[Group]:
+    rng = np.random.default_rng(seed)
+    groups = []
+    for gid in range(num_groups):
+        base = rng.integers(20, 120)
+        skew = rng.uniform(0.0, 3.0, size=8)
+        counts = np.maximum(1, (base * np.exp(skew) / np.exp(skew).max())).astype(
+            np.int64
+        )
+        groups.append(
+            Group(
+                group_id=gid,
+                edge_id=0,
+                members=np.arange(gid * 4, gid * 4 + 4),
+                label_counts=counts,
+            )
+        )
+    return groups
+
+
+def _measure(groups, method, scheme, x, rounds=ROUNDS) -> dict:
+    sampler = GroupSampler(
+        groups,
+        method=method,
+        num_sampled=SIZE,
+        mode="unbiased",
+        rng=2024,
+        scheme=scheme,
+    )
+    estimates = np.empty(rounds)
+    for t in range(rounds):
+        selected, weights = sampler.sample()
+        estimates[t] = float(
+            sum(w * x[g.group_id] for g, w in zip(selected, weights))
+        )
+    return {
+        "num_groups": len(groups),
+        "method": method,
+        "scheme": scheme,
+        "mean": float(estimates.mean()),
+        "variance": float(estimates.var(ddof=1)),
+        "se": float(estimates.std(ddof=1) / np.sqrt(rounds)),
+        "gamma_p": float(sampler.gamma_p()),
+        "gamma_alpha": float(sampler.gamma_alpha()),
+        "rounds": rounds,
+    }
+
+
+def test_sampling_variance_axis():
+    rows = []
+    for num_groups in GROUP_COUNTS:
+        groups = _make_groups(num_groups, seed=num_groups)
+        n = float(sum(g.n_g for g in groups))
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(num_groups)
+        target = float(sum((g.n_g / n) * x[g.group_id] for g in groups))
+        for method in METHODS:
+            for scheme in SCHEMES:
+                row = _measure(groups, method, scheme, x)
+                row["target"] = target
+                rows.append(row)
+
+    print()
+    for row in rows:
+        print(
+            f"sampling @ |G|={row['num_groups']:>4}: "
+            f"{row['method']:>7}/{row['scheme']:<14} "
+            f"var {row['variance']:9.5f} | "
+            f"Γ_p {row['gamma_p']:9.1f} | Γ_α {row['gamma_alpha']:9.1f}"
+        )
+
+    by_key = {(r["num_groups"], r["method"], r["scheme"]): r for r in rows}
+    for row in rows:
+        # Unbiasedness across the whole grid (5 SE: many simultaneous tests).
+        assert abs(row["mean"] - row["target"]) < 5.0 * row["se"], row
+
+    for num_groups in GROUP_COUNTS:
+        for method in METHODS:
+            multi = by_key[(num_groups, method, "multinomial")]
+            strat = by_key[(num_groups, method, "stratified")]
+            # Stratification removes the between-strata variance component;
+            # 1.25 slack covers the finite-sample noise of both estimates.
+            assert strat["variance"] <= multi["variance"] * 1.25, (multi, strat)
+        # p* is the closed-form minimizer of the size-weighted second
+        # moment; on these synthetic x it should not lose to esrcov's
+        # CoV-derived p by more than CI slack under the same WOR scheme.
+        esr = by_key[(num_groups, "esrcov", "sequential_wor")]
+        var = by_key[(num_groups, "varopt", "sequential_wor")]
+        assert var["variance"] <= esr["variance"] * 1.5, (esr, var)
+
+    report = (
+        json.loads(OUT_PATH.read_text())
+        if OUT_PATH.exists()
+        else {"benchmark": "hotpaths"}
+    )
+    report["sampling"] = rows
+    OUT_PATH.write_text(json.dumps(report, indent=1))
+    print(f"wrote {OUT_PATH}")
+
+
+def test_variance_optimal_probabilities_track_sizes():
+    """Sanity anchor for the axis: p* ∝ n_g (unit norms), floored fairly."""
+    groups = _make_groups(20, seed=1)
+    n_g = np.array([g.n_g for g in groups], dtype=np.float64)
+    p = variance_optimal_probabilities(n_g)
+    assert np.allclose(p, n_g / n_g.sum())

@@ -63,6 +63,7 @@ def capture_state(trainer: "GroupFELTrainer") -> dict:
         "groups": copy.deepcopy(trainer.groups),
         "sampled_history": copy.deepcopy(trainer.sampled_history),
         "strategy": trainer.strategy.state_dict(),
+        "sampler_adaptive": trainer.sampler.adaptive_state_dict(),
         "history": trainer.history.state_dict(),
         "ledger": {
             "round_costs": list(trainer.ledger.round_costs),
@@ -83,8 +84,10 @@ def restore_state(trainer: "GroupFELTrainer", state: dict) -> None:
     """Install a :func:`capture_state` snapshot into ``trainer`` in place.
 
     The sampler is rebuilt from the restored groups (its probability
-    vector is a pure function of them) with its RNG stream restored
-    directly, so the next draw matches the interrupted run's.
+    vector and sampling scheme are pure functions of them and the config)
+    with its RNG stream restored directly, so the next draw matches the
+    interrupted run's; an ``adaptive`` sampler additionally restores its
+    norm-EMA estimator, replaying the probability trajectory exactly.
     """
     cfg = trainer.config
     trainer.round_idx = int(state["round_idx"])
@@ -99,7 +102,10 @@ def restore_state(trainer: "GroupFELTrainer", state: dict) -> None:
         min_prob=cfg.min_prob,
         rng=restore_generator(state["sampler_rng"]),
         telemetry=trainer.telemetry,
+        scheme=cfg.sampling_scheme,
     )
+    if trainer.sampler.adaptive is not None:
+        trainer.sampler.load_adaptive_state_dict(state.get("sampler_adaptive"))
     trainer.sampled_history = list(state["sampled_history"])
     trainer.strategy.load_state_dict(state["strategy"])
     trainer.history.load_state_dict(state["history"])

@@ -60,7 +60,8 @@ from repro.population import (
 from repro.rng import derive_seed, make_rng
 from repro.shm import ShmChannel, ShmView
 from repro.sampling.probability import WEIGHT_FUNCTIONS
-from repro.sampling.sampler import AggregationMode, GroupSampler
+from repro.sampling.sampler import ADAPTIVE_METHODS, AggregationMode, GroupSampler
+from repro.sampling.schemes import SCHEMES
 from repro.secure.backdoor import BackdoorDetector
 from repro.secure.secagg import SecureAggregator
 from repro.telemetry import NULL_TELEMETRY, Telemetry, resolve as resolve_telemetry
@@ -77,15 +78,17 @@ def engine_overrides_activated(
     engine: str | None = None,
     shared_memory: bool | None = None,
     pipeline_rounds: bool | None = None,
+    sampling_scheme: str | None = None,
 ):
     """Override round-engine knobs on every trainer built in the block.
 
     The experiment generators construct their own :class:`TrainerConfig`;
     this is how the CLI's ``--engine`` / ``--no-shared-memory`` /
-    ``--pipeline-rounds`` flags reach them without the generators knowing
-    about any of it (the same ambient pattern as ``parallel.activated``).
-    Only the knobs passed non-None are overridden; the trainer applies
-    them with ``dataclasses.replace``, never mutating the caller's config.
+    ``--pipeline-rounds`` / ``--sampling-scheme`` flags reach them without
+    the generators knowing about any of it (the same ambient pattern as
+    ``parallel.activated``). Only the knobs passed non-None are
+    overridden; the trainer applies them with ``dataclasses.replace``,
+    never mutating the caller's config.
     """
     global _active_engine_overrides
     overrides = {
@@ -94,6 +97,7 @@ def engine_overrides_activated(
             "engine": engine,
             "shared_memory": shared_memory,
             "pipeline_rounds": pipeline_rounds,
+            "sampling_scheme": sampling_scheme,
         }.items()
         if v is not None
     }
@@ -137,6 +141,13 @@ class TrainerConfig:
     momentum: float = 0.0
     weight_decay: float = 0.0
     sampling_method: str = "esrcov"
+    #: how S_t is drawn from p: "sequential_wor" (the paper's sequential
+    #: renormalized draw, default), "multinomial" (with replacement — the
+    #: scheme under which Eq. 4's S·p_g weights are provably exact), or
+    #: "stratified" (one draw per p-mass-balanced stratum; Fraboni's
+    #: clustered sampling). Unbiased weights always divide by the scheme's
+    #: true expected multiplicity (see repro.sampling.schemes).
+    sampling_scheme: str = "sequential_wor"
     aggregation_mode: AggregationMode | str = AggregationMode.BIASED
     min_prob: float = 0.0
     step_mode: str = "epoch"
@@ -205,11 +216,16 @@ class TrainerConfig:
                 f"engine must be 'auto', 'batched' or 'reference', "
                 f"got {self.engine!r}"
             )
-        known_sampling = ("random", *sorted(WEIGHT_FUNCTIONS))
+        known_sampling = ("random", *sorted(WEIGHT_FUNCTIONS), *ADAPTIVE_METHODS)
         if self.sampling_method not in known_sampling:
             raise ValueError(
-                f"sampling_method must be one of {known_sampling}, "
+                f"sampling_method must be one of {sorted(known_sampling)}, "
                 f"got {self.sampling_method!r}"
+            )
+        if self.sampling_scheme not in SCHEMES:
+            raise ValueError(
+                f"sampling_scheme must be one of {sorted(SCHEMES)}, "
+                f"got {self.sampling_scheme!r}"
             )
         self.aggregation_mode = AggregationMode(self.aggregation_mode)
         if isinstance(self.faults, str):
@@ -743,7 +759,7 @@ class GroupFELTrainer:
         )
 
     def _make_sampler(self) -> GroupSampler:
-        return GroupSampler(
+        sampler = GroupSampler(
             self.groups,
             method=self.config.sampling_method,
             num_sampled=min(self.config.num_sampled, len(self.groups)),
@@ -751,7 +767,19 @@ class GroupFELTrainer:
             min_prob=self.config.min_prob,
             rng=self.rng.spawn(1)[0],
             telemetry=self.telemetry,
+            scheme=self.config.sampling_scheme,
         )
+        if (
+            sampler.adaptive is not None
+            and getattr(self, "sampler", None) is not None
+            and self.sampler.adaptive is not None
+        ):
+            # Regrouping/churn rebuilt the partition: group identities are
+            # new, but the learned norm *scale* carries over as the prior.
+            state = self.sampler.adaptive.state_dict()
+            sampler.adaptive.load_state_dict(state)
+            sampler.adaptive.resize(len(self.groups))
+        return sampler
 
     @property
     def population_trace(self) -> PopulationTrace:
@@ -1030,6 +1058,15 @@ class GroupFELTrainer:
             fault_delay = self._meter_faults(round_events)
 
             stacked = np.vstack(group_models)
+            if self.sampler.adaptive is not None:
+                # Heterogeneity-guided feedback: observed ‖Δ_g‖ refines the
+                # variance-optimal p for the *next* round's draw. Norms are
+                # pure functions of the (bit-identical) group models, so
+                # the p trajectory replays on every backend.
+                self.sampler.observe_update_norms(
+                    selected,
+                    np.linalg.norm(stacked - self.global_params, axis=1),
+                )
             normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
             with tel.span("cloud_aggregate", num_groups=len(selected)):
                 self.global_params = weighted_average(

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments fig9 --population start:0.8,join:0.5,leave:0.02
     python -m repro.experiments fig9 --parallel process:4
     python -m repro.experiments fig9 --engine reference --pipeline-rounds
+    python -m repro.experiments fig7 --sampling-scheme stratified
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9 --resume
     python -m repro.experiments list
@@ -113,6 +114,17 @@ def main(argv: list[str] | None = None) -> int:
         "batched forward/backward when the model/strategy support it, "
         "'batched' forces that and errors if unsupported, 'reference' keeps "
         "the per-client loop (the bit-identical golden path)",
+    )
+    parser.add_argument(
+        "--sampling-scheme",
+        choices=["sequential_wor", "multinomial", "stratified"],
+        default=None,
+        help="how every trainer the target constructs draws S_t from p: "
+        "'sequential_wor' (the paper's sequential renormalized draw; "
+        "unbiased weights divide by the exact inclusion probabilities "
+        "pi_g), 'multinomial' (with replacement — Eq. 4's S*p_g weights "
+        "are exact here), or 'stratified' (one draw per p-mass-balanced "
+        "stratum; lowest variance)",
     )
     parser.add_argument(
         "--pipeline-rounds",
@@ -234,11 +246,17 @@ def main(argv: list[str] | None = None) -> int:
     # the telemetry instance / fault plan / shared worker pool without the
     # generators knowing about any of them.
     with ExitStack() as stack:
-        if args.engine or args.pipeline_rounds or args.no_shared_memory:
+        if (
+            args.engine
+            or args.pipeline_rounds
+            or args.no_shared_memory
+            or args.sampling_scheme
+        ):
             stack.enter_context(engine_overrides_activated(
                 engine=args.engine,
                 pipeline_rounds=args.pipeline_rounds or None,
                 shared_memory=False if args.no_shared_memory else None,
+                sampling_scheme=args.sampling_scheme,
             ))
         if telemetry is not None:
             stack.enter_context(activated(telemetry))

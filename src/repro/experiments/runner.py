@@ -147,8 +147,15 @@ def run_combo(
     parallel: ParallelMap | None = None,
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
+    sampling_scheme: str | None = None,
 ) -> TrainingHistory:
-    """Run an arbitrary grouping × sampling combination (Fig. 12's axes)."""
+    """Run an arbitrary grouping × sampling combination (Fig. 12's axes).
+
+    ``sampling_method`` picks the probability construction (Eq. 34 CoV
+    weights, ``varopt``, or ``adaptive``); ``sampling_scheme`` the draw
+    mechanics (``sequential_wor``/``multinomial``/``stratified`` — None
+    keeps the workload config's scheme).
+    """
     groups = group_clients_per_edge(
         grouper,
         workload.fed.L,
@@ -156,6 +163,8 @@ def run_combo(
         rng=derive_seed(workload.seed, "grouping", label),
     )
     cfg = replace(workload.trainer_config, sampling_method=sampling_method)
+    if sampling_scheme is not None:
+        cfg = replace(cfg, sampling_scheme=sampling_scheme)
     if faults is not None:
         cfg = replace(cfg, faults=faults)
     if population is not None:

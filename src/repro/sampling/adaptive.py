@@ -1,0 +1,132 @@
+"""Online re-estimation of importance weights from observed update norms.
+
+Heterogeneity-Guided Client Sampling (PAPERS.md, arXiv 2310.00198) and
+Fraboni et al.'s variance analysis both land on the same closed form: for
+the unbiased estimator Σ_{g∈S_t} n_g/(n·α_g)·x_g, the sampling-variance
+term Σ_g (n_g/n)²·‖x_g‖²/p_g is minimized over the simplex by
+
+    p*_g ∝ n_g · ‖x_g‖            (Cauchy–Schwarz; see THEORY.md)
+
+‖x_g‖ — the group's update magnitude — is unknown before training, so the
+``varopt`` baseline takes ‖x_g‖ ≡ 1 (p* ∝ n_g, the size-optimal prior)
+and the ``adaptive`` sampler refines it online: an exponential moving
+average of each group's observed update norm feeds p*_g ∝ n_g·EMA_g every
+round. Unobserved groups keep the pessimistic prior (the running mean of
+observed norms), so a group never starves just because it has not been
+sampled yet.
+
+The estimator's state is a plain dict of floats — it is captured into
+checkpoints (see :mod:`repro.checkpoint.state`) so a resumed adaptive run
+replays its probability trajectory bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AdaptiveNormEstimator"]
+
+
+class AdaptiveNormEstimator:
+    """EMA of per-group update norms, with a shared prior for the unseen.
+
+    Parameters
+    ----------
+    num_groups:
+        |G|; estimates() always returns a vector of this length.
+    beta:
+        EMA retention in [0, 1): ``ema ← beta·ema + (1-beta)·norm``.
+        0 tracks the latest norm only; 0.8 (default) smooths over ~5
+        observations.
+    prior:
+        Initial norm estimate for never-observed groups. Once any group
+        has been observed, the prior is replaced by the mean of all
+        observed EMAs — new/unseen groups are assumed *average*, not
+        special.
+    """
+
+    def __init__(self, num_groups: int, beta: float = 0.8, prior: float = 1.0):
+        if num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        if prior <= 0.0:
+            raise ValueError(f"prior must be > 0, got {prior}")
+        self.num_groups = int(num_groups)
+        self.beta = float(beta)
+        self.prior = float(prior)
+        self._ema: dict[int, float] = {}
+        self.observations = 0
+
+    def observe(self, indices: np.ndarray, norms: np.ndarray) -> None:
+        """Fold one round's observed ‖Δ_g‖ values into the EMAs.
+
+        ``indices`` are positions in the sampler's group list; ``norms``
+        the corresponding update magnitudes (non-negative; exact zeros are
+        clamped to a tiny positive value so p* stays a valid probability
+        vector even for a converged group).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        norms = np.asarray(norms, dtype=np.float64)
+        if indices.shape != norms.shape:
+            raise ValueError(
+                f"indices shape {indices.shape} != norms shape {norms.shape}"
+            )
+        if np.any(norms < 0) or not np.all(np.isfinite(norms)):
+            raise ValueError("update norms must be finite and non-negative")
+        for i, norm in zip(indices.tolist(), norms.tolist()):
+            if not 0 <= i < self.num_groups:
+                raise ValueError(f"group index {i} out of range")
+            norm = max(norm, 1e-12)
+            if i in self._ema:
+                self._ema[i] = self.beta * self._ema[i] + (1.0 - self.beta) * norm
+            else:
+                self._ema[i] = norm
+            self.observations += 1
+
+    def estimates(self) -> np.ndarray:
+        """Current per-group norm estimates (prior-filled where unseen)."""
+        if self._ema:
+            fill = float(np.mean(list(self._ema.values())))
+        else:
+            fill = self.prior
+        out = np.full(self.num_groups, fill, dtype=np.float64)
+        for i, v in self._ema.items():
+            out[i] = v
+        return out
+
+    def resize(self, num_groups: int) -> None:
+        """Adopt a new group count after regrouping/churn.
+
+        Group identities change wholesale when the partition is rebuilt,
+        so per-group EMAs are dropped; the *scale* learned so far survives
+        as the new prior (mean of the observed EMAs).
+        """
+        if num_groups < 1:
+            raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+        if self._ema:
+            self.prior = float(np.mean(list(self._ema.values())))
+        self.num_groups = int(num_groups)
+        self._ema = {}
+
+    def state_dict(self) -> dict:
+        return {
+            "num_groups": self.num_groups,
+            "beta": self.beta,
+            "prior": self.prior,
+            "ema": dict(self._ema),
+            "observations": self.observations,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.num_groups = int(state["num_groups"])
+        self.beta = float(state["beta"])
+        self.prior = float(state["prior"])
+        self._ema = {int(k): float(v) for k, v in state["ema"].items()}
+        self.observations = int(state["observations"])
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveNormEstimator(|G|={self.num_groups}, beta={self.beta}, "
+            f"observed={len(self._ema)})"
+        )

@@ -1,0 +1,170 @@
+"""Inclusion probabilities π_g of the sequential without-replacement draw.
+
+The Eq. (4) weights ``n_g/(n·p_g·S)`` are unbiased only when each group's
+expected multiplicity in S_t equals ``S·p_g``. That holds exactly for
+multinomial (with-replacement) sampling, but **not** for the sequential
+probability-proportional draw without replacement used by
+:func:`repro.sampling.sample_without_replacement`: removing a drawn group
+and renormalizing changes the conditional distribution of later draws, so
+the marginal inclusion probability π_g deviates from ``S·p_g`` whenever
+``S > 1`` and p is non-uniform. (High-p groups have π_g < S·p_g — they
+cannot be drawn twice — and the freed mass flows to the low-p groups.)
+
+This module computes the exact π_g by recursive enumeration over draw
+orders when the ordered-sequence count ``|G|·(|G|-1)···(|G|-S+1)`` fits a
+budget, and otherwise falls back to a *seeded* Monte-Carlo estimator
+built on the Efraimidis–Spirakis exponential-race equivalence: drawing
+``E_g ~ Exp(1)/p_g`` and keeping the S smallest keys is distributed
+identically to S successive renormalized draws, so the estimator can be
+fully vectorized (one (rounds × |G|) exponential matrix + a partial sort
+per round) instead of looping ``rng.choice`` calls.
+
+The corrected unbiased weight is then the Horvitz–Thompson form
+``n_g/(n·π_g)`` — see :func:`repro.sampling.aggregation_weights`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import derive_seed, make_rng
+
+__all__ = [
+    "num_ordered_sequences",
+    "sequential_wor_inclusion",
+    "sequential_wor_inclusion_exact",
+    "sequential_wor_inclusion_mc",
+]
+
+#: default cap on the ordered-sequence count before the exact recursion
+#: yields to the Monte-Carlo estimator (≈ a few hundred ms of Python)
+DEFAULT_EXACT_BUDGET = 200_000
+
+#: default Monte-Carlo sample count; the resulting π̂ has per-entry
+#: standard error ≤ 0.5/√rounds ≈ 1.6e-3 at the default
+DEFAULT_MC_ROUNDS = 100_000
+
+
+def _validate(p: np.ndarray, size: int) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError(f"p must be a non-empty 1-D vector, got shape {p.shape}")
+    if not 0 < size <= p.size:
+        raise ValueError(f"cannot sample {size} from {p.size} groups")
+    if np.any(p < 0) or not np.isclose(p.sum(), 1.0):
+        raise ValueError("p must be a probability vector")
+    if int(np.count_nonzero(p)) < size:
+        raise ValueError(
+            f"cannot draw {size} distinct groups: only "
+            f"{int(np.count_nonzero(p))} have positive probability"
+        )
+    return p / p.sum()
+
+
+def num_ordered_sequences(num_groups: int, size: int) -> int:
+    """|G|·(|G|-1)···(|G|-S+1) — the exact recursion's leaf count."""
+    total = 1
+    for k in range(size):
+        total *= num_groups - k
+    return total
+
+
+def sequential_wor_inclusion_exact(p: np.ndarray, size: int) -> np.ndarray:
+    """Exact π_g by recursive enumeration over all ordered draw sequences.
+
+    π_g sums, over every prefix in which g is still undrawn, the
+    probability of reaching that prefix times the renormalized probability
+    of drawing g next. Zero-probability branches are pruned, so sparse p
+    vectors enumerate far fewer than ``num_ordered_sequences`` nodes.
+    Cost is O(|G|^S); guard with :func:`num_ordered_sequences` or call
+    :func:`sequential_wor_inclusion`, which budgets automatically.
+    """
+    p = _validate(p, size)
+    n = p.size
+    pi = np.zeros(n, dtype=np.float64)
+    drawn = np.zeros(n, dtype=bool)
+
+    def visit(prefix_prob: float, remaining_mass: float, depth: int) -> None:
+        if remaining_mass <= 0.0:
+            # A dominant group (p_g ≈ 1 after rounding) can cancel the
+            # remaining mass to exactly 0.0; every continuation of such a
+            # prefix has probability ~0, so prune instead of dividing.
+            return
+        for j in range(n):
+            if drawn[j] or p[j] == 0.0:
+                continue
+            pj = prefix_prob * p[j] / remaining_mass
+            if pj == 0.0:
+                continue
+            pi[j] += pj
+            if depth + 1 < size:
+                drawn[j] = True
+                visit(pj, remaining_mass - p[j], depth + 1)
+                drawn[j] = False
+
+    visit(1.0, 1.0, 0)
+    return np.minimum(pi, 1.0)
+
+
+def sequential_wor_inclusion_mc(
+    p: np.ndarray,
+    size: int,
+    rounds: int = DEFAULT_MC_ROUNDS,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Monte-Carlo π̂_g over ``rounds`` simulated draws (vectorized).
+
+    Uses the exponential-race form of sequential PPS-WOR sampling
+    (Efraimidis–Spirakis): the S indices with the smallest ``Exp(1)/p_g``
+    keys are distributed exactly as S successive renormalized draws.
+    ``rng`` seeds the estimator; the default (None) derives a fixed seed
+    from (|G|, S, rounds), so the same p vector always yields the same π̂ —
+    checkpoint resume rebuilds identical weights without storing them.
+    """
+    p = _validate(p, size)
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    n = p.size
+    if rng is None:
+        rng = derive_seed(0, "sequential-wor-inclusion", n, size, rounds)
+    rng = make_rng(rng)
+    counts = np.zeros(n, dtype=np.int64)
+    # Chunk so the key matrix stays ~32 MB regardless of rounds·|G|.
+    chunk = max(1, min(rounds, 4_000_000 // n))
+    positive = p > 0
+    done = 0
+    while done < rounds:
+        r = min(chunk, rounds - done)
+        keys = np.full((r, n), np.inf)
+        keys[:, positive] = rng.standard_exponential((r, int(positive.sum())))
+        keys[:, positive] /= p[positive]
+        winners = np.argpartition(keys, size - 1, axis=1)[:, :size]
+        np.add.at(counts, winners.ravel(), 1)
+        done += r
+    return counts / float(rounds)
+
+
+def sequential_wor_inclusion(
+    p: np.ndarray,
+    size: int,
+    *,
+    exact_budget: int = DEFAULT_EXACT_BUDGET,
+    mc_rounds: int = DEFAULT_MC_ROUNDS,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """π_g for the sequential WOR draw: exact when affordable, else MC.
+
+    The exact recursion runs when the ordered-sequence count
+    ``|G|·(|G|-1)···(|G|-S+1)`` is at most ``exact_budget``; beyond that
+    the seeded Monte-Carlo estimator takes over (see
+    :func:`sequential_wor_inclusion_mc` for the seeding contract).
+    S=1 short-circuits to π = p exactly.
+    """
+    p = _validate(p, size)
+    if size == 1:
+        return p.copy()
+    if size == p.size:
+        return np.ones_like(p)
+    if num_ordered_sequences(p.size, size) <= exact_budget:
+        return sequential_wor_inclusion_exact(p, size)
+    return sequential_wor_inclusion_mc(p, size, rounds=mc_rounds, rng=rng)

@@ -28,6 +28,7 @@ __all__ = [
     "sampling_probabilities",
     "sampling_probabilities_from_counts",
     "uniform_probabilities",
+    "variance_optimal_probabilities",
 ]
 
 #: Weight functions expressed as log-weights of x = 1/CoV (log keeps
@@ -179,6 +180,51 @@ def sampling_probabilities_from_counts(
     return sampling_probabilities(covs, method, min_prob=min_prob, cov_floor=cov_floor)
 
 
+def variance_optimal_probabilities(
+    group_sizes: np.ndarray,
+    update_norms: np.ndarray | None = None,
+    min_prob: float = 0.0,
+) -> np.ndarray:
+    """The closed-form variance minimizer p*_g ∝ n_g·‖x_g‖ (Fraboni et al.).
+
+    Minimizes the sampling-variance term Σ_g (n_g/n)²·‖x_g‖²/p_g of the
+    unbiased estimator over the probability simplex (Cauchy–Schwarz gives
+    p*_g ∝ n_g·‖x_g‖). With ``update_norms`` omitted every norm is taken
+    as 1, collapsing to the size-optimal prior p* ∝ n_g — the ``varopt``
+    sampling method. The ``adaptive`` method feeds online norm estimates
+    here instead (:class:`repro.sampling.adaptive.AdaptiveNormEstimator`).
+    ``min_prob`` water-fills a floor exactly as in
+    :func:`sampling_probabilities`, bounding Γ_p.
+    """
+    n_g = np.asarray(group_sizes, dtype=np.float64)
+    if n_g.ndim != 1 or n_g.size == 0:
+        raise ValueError(
+            f"group_sizes must be a non-empty 1-D vector, got shape {n_g.shape}"
+        )
+    if np.any(n_g <= 0) or not np.all(np.isfinite(n_g)):
+        raise ValueError("group sizes must be finite and positive")
+    if update_norms is None:
+        score = n_g
+    else:
+        norms = np.asarray(update_norms, dtype=np.float64)
+        if norms.shape != n_g.shape:
+            raise ValueError(
+                f"update_norms shape {norms.shape} != group_sizes shape {n_g.shape}"
+            )
+        if np.any(norms <= 0) or not np.all(np.isfinite(norms)):
+            raise ValueError("update norms must be finite and positive")
+        score = n_g * norms
+    p = score / score.sum()
+    if min_prob > 0.0:
+        if min_prob * p.size > 1.0:
+            raise ValueError(
+                f"min_prob {min_prob} infeasible for {p.size} groups "
+                f"(needs ≤ {1.0 / p.size:.4f})"
+            )
+        p = _apply_floor(p, min_prob)
+    return p
+
+
 def gamma_p(p: np.ndarray) -> float:
     """Γ_p = Σ_g 1/p_g — the variance-controlling quantity of Theorem 1.
 
@@ -198,7 +244,13 @@ def _apply_floor(p: np.ndarray, floor: float) -> np.ndarray:
 
     Entries at the floor are pinned; the remaining probability mass is
     distributed proportionally among the others. Iterates because scaling
-    the rest down can push new entries below the floor.
+    the rest down can push new entries below the floor. The final vector
+    is renormalized over the free entries before returning: each
+    iteration's proportional rescale accumulates floating-point drift, and
+    an off-by-1e-9 sum used to slip past our ``np.isclose`` guard only to
+    be rejected by ``rng.choice``'s stricter internal check one call
+    deeper. Pinned entries stay exactly ``floor``; the free entries absorb
+    the drift, so the sum lands within one rounding of 1.0.
     """
     p = p.copy()
     pinned = np.zeros(p.shape, dtype=bool)
@@ -215,4 +267,8 @@ def _apply_floor(p: np.ndarray, floor: float) -> np.ndarray:
             p[free] *= remaining / total_free
         else:  # everything pinned
             break
+    free = ~pinned
+    total_free = p[free].sum() if free.any() else 0.0
+    if total_free > 0.0:
+        p[free] *= (1.0 - float(pinned.sum()) * floor) / total_free
     return p

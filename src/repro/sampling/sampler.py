@@ -1,17 +1,30 @@
 """Group sampling and aggregation-weight computation.
 
-Sampling S_t ⊆ G happens once per global round (Algorithm 1, Line 6) via
-sequential probability-proportional draws *without replacement* — remove
-the drawn group, renormalize, repeat. Aggregation weights implement the
-three modes discussed in §3.1/§6.2:
+Sampling S_t ⊆ G happens once per global round (Algorithm 1, Line 6)
+through a pluggable :class:`~repro.sampling.schemes.SamplingScheme`:
+``sequential_wor`` (the paper's sequential renormalized draw, default),
+``multinomial`` (with replacement), or ``stratified`` (one draw per
+p-mass-balanced stratum). Aggregation weights implement the three modes
+discussed in §3.1/§6.2:
 
 * ``biased``     — Line 15 verbatim: weight ∝ n_g (normalized over S_t).
-* ``unbiased``   — Eq. (4): weight = n_g / (n · p_g · S); an unbiased
-  estimator of the full aggregation, but numerically fragile when some
-  1/p_g is huge.
+* ``unbiased``   — the Horvitz–Thompson form ``n_g/(n·α_g)``, where
+  α_g = E[#times g appears in S_t] is the scheme's expected multiplicity.
+  The paper's Eq. (4) weight ``n_g/(n·p_g·S)`` is the α = S·p_g special
+  case — exact for multinomial sampling and for S=1, but **biased** under
+  the sequential WOR draw with S>1 and non-uniform p, whose true inclusion
+  probability π_g deviates from S·p_g (see :mod:`repro.sampling.inclusion`
+  for the exact computation that fixes it). Unbiased but numerically
+  fragile when some 1/α_g is huge.
 * ``stabilized`` — Eq. (35): the unbiased weights renormalized to sum to 1,
   trading exact unbiasedness for stability (the paper's recommendation
   when prioritized sampling and the unbiasedness factor are combined).
+
+The probability vector p itself comes from the CoV weight functions of
+Eq. (34) (``random``/``rcov``/``srcov``/``esrcov``), from the closed-form
+variance minimizer p* ∝ n_g (``varopt``), or from the online
+norm-adaptive refinement p* ∝ n_g·EMA‖Δ_g‖ (``adaptive`` — see
+:mod:`repro.sampling.adaptive`).
 """
 
 from __future__ import annotations
@@ -22,15 +35,25 @@ import numpy as np
 
 from repro.grouping.base import Group
 from repro.rng import make_rng
-from repro.sampling.probability import sampling_probabilities
+from repro.sampling.adaptive import AdaptiveNormEstimator
+from repro.sampling.probability import (
+    sampling_probabilities,
+    variance_optimal_probabilities,
+)
+from repro.sampling.schemes import make_scheme, sample_without_replacement
 from repro.telemetry import Telemetry, resolve as resolve_telemetry
 
 __all__ = [
     "AggregationMode",
+    "ADAPTIVE_METHODS",
     "sample_without_replacement",
     "aggregation_weights",
     "GroupSampler",
 ]
+
+#: sampling methods whose p comes from group sizes/update norms rather
+#: than CoV weight functions (Eq. 34)
+ADAPTIVE_METHODS = ("varopt", "adaptive")
 
 
 class AggregationMode(str, Enum):
@@ -41,56 +64,75 @@ class AggregationMode(str, Enum):
     STABILIZED = "stabilized"
 
 
-def sample_without_replacement(
-    p: np.ndarray, size: int, rng: np.random.Generator | int | None = None
-) -> np.ndarray:
-    """Draw ``size`` distinct indices with probability ∝ p, sequentially.
-
-    Equivalent to successive renormalized draws; implemented with NumPy's
-    ``choice(replace=False, p=...)`` which uses the same scheme.
-    """
-    p = np.asarray(p, dtype=np.float64)
-    n = p.shape[0]
-    if not 0 < size <= n:
-        raise ValueError(f"cannot sample {size} from {n} groups")
-    if np.any(p < 0) or not np.isclose(p.sum(), 1.0):
-        raise ValueError("p must be a probability vector")
-    rng = make_rng(rng)
-    # Our isclose tolerance (atol 1e-8, rtol 1e-5) is looser than
-    # rng.choice's internal sum check (~sqrt(eps) with Kahan summation), so
-    # a vector that drifted during floor renormalization can pass the guard
-    # above yet still raise "probabilities do not sum to 1" inside choice.
-    # Renormalize immediately before the draw.
-    p = p / p.sum()
-    return rng.choice(n, size=size, replace=False, p=p)
-
-
 def aggregation_weights(
     selected_groups: list[Group],
     p_selected: np.ndarray,
     total_samples: int,
     mode: AggregationMode | str = AggregationMode.BIASED,
+    *,
+    inclusion: np.ndarray | None = None,
+    multiplicity: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Aggregation weight per selected group (weights of Line 15 / Eq. 4 / Eq. 35).
+    """Aggregation weight per selected group (Line 15 / Eq. 4 / Eq. 35).
 
     Parameters
     ----------
     selected_groups:
-        The groups in S_t, in draw order.
+        The *distinct* groups in S_t, in draw order.
     p_selected:
-        Their sampling probabilities p_g (same order).
+        Their sampling probabilities p_g (same order); any array-like.
     total_samples:
-        The paper's n (all data across all groups).
+        The paper's n (all data across all groups); must be positive for
+        the unbiased/stabilized modes, which divide by it.
+    inclusion:
+        The scheme's expected multiplicity α_g for each selected group.
+        The unbiased weight is then ``multiplicity_g·n_g/(n·α_g)``.
+        Omitted, the legacy Eq. (4) divisor ``S·p_g`` is used — exact
+        only for multinomial sampling or S=1; under the sequential WOR
+        draw with S>1 it is the *biased* pre-fix weighting (kept for
+        comparison; pass the scheme's α for correctness).
+    multiplicity:
+        How many times each selected group was drawn (≥1; defaults to 1,
+        which is always the case without replacement). With-replacement
+        schemes fold repeat draws into the weight instead of training a
+        group twice.
     """
     mode = AggregationMode(mode)
     n_g = np.array([g.n_g for g in selected_groups], dtype=np.float64)
     s = len(selected_groups)
+    p_selected = np.asarray(p_selected, dtype=np.float64)
     if p_selected.shape != (s,):
         raise ValueError(f"p_selected shape {p_selected.shape} != ({s},)")
+    if multiplicity is None:
+        mult = np.ones(s, dtype=np.float64)
+    else:
+        mult = np.asarray(multiplicity, dtype=np.float64)
+        if mult.shape != (s,):
+            raise ValueError(f"multiplicity shape {mult.shape} != ({s},)")
+        if np.any(mult < 1):
+            raise ValueError(f"multiplicity entries must be >= 1, got {mult}")
     if mode is AggregationMode.BIASED:
-        # Line 15: n_g / n_t where n_t is the data total over S_t.
-        return n_g / n_g.sum()
-    raw = n_g / (np.asarray(p_selected) * s * float(total_samples))
+        # Line 15: n_g / n_t where n_t is the data total over S_t
+        # (with-replacement repeats count toward n_t).
+        scaled = mult * n_g
+        return scaled / scaled.sum()
+    if total_samples <= 0:
+        raise ValueError(
+            f"total_samples must be positive for {mode.value} weights, "
+            f"got {total_samples} (0 would yield inf/nan weights)"
+        )
+    if inclusion is None:
+        # Legacy Eq. (4): α = S·p_g, with S the number of draws.
+        alpha = p_selected * float(mult.sum())
+    else:
+        alpha = np.asarray(inclusion, dtype=np.float64)
+        if alpha.shape != (s,):
+            raise ValueError(f"inclusion shape {alpha.shape} != ({s},)")
+    if np.any(alpha <= 0) or not np.all(np.isfinite(alpha)):
+        raise ValueError(
+            f"expected multiplicities must be finite and positive, got {alpha}"
+        )
+    raw = mult * n_g / (alpha * float(total_samples))
     if mode is AggregationMode.UNBIASED:
         return raw
     return raw / raw.sum()  # Eq. (35)
@@ -99,8 +141,22 @@ def aggregation_weights(
 class GroupSampler:
     """Cloud-side sampler bound to a fixed group list.
 
-    Computes p once from group CoVs (``Sampling-Prob`` — Algorithm 1 Line 4)
-    and then draws S_t each round. Recreate the sampler after any regrouping.
+    Computes p once (``Sampling-Prob`` — Algorithm 1 Line 4) from group
+    CoVs (Eq. 34 methods), group sizes (``varopt``), or size×norm
+    estimates (``adaptive``), binds a :class:`SamplingScheme` to it, and
+    then draws S_t each round. Recreate the sampler after any regrouping.
+
+    Parameters
+    ----------
+    scheme:
+        ``sequential_wor`` (default — the paper's draw), ``multinomial``,
+        or ``stratified``. Determines both the draw mechanics and the
+        expected-multiplicity vector α the unbiased weights divide by.
+    method:
+        ``random``/``rcov``/``srcov``/``esrcov`` (Eq. 34), ``varopt``
+        (p* ∝ n_g, the closed-form variance minimizer with unit norms), or
+        ``adaptive`` (starts at varopt, then re-estimates p from observed
+        group update norms — feed :meth:`observe_update_norms` each round).
     """
 
     def __init__(
@@ -112,6 +168,7 @@ class GroupSampler:
         min_prob: float = 0.0,
         rng: np.random.Generator | int | None = None,
         telemetry: Telemetry | None = None,
+        scheme: str = "sequential_wor",
     ):
         if num_sampled < 1 or num_sampled > len(groups):
             raise ValueError(
@@ -121,7 +178,17 @@ class GroupSampler:
         self.method = method
         self.num_sampled = int(num_sampled)
         self.mode = AggregationMode(mode)
-        self.p = sampling_probabilities(groups, method=method, min_prob=min_prob)
+        self.min_prob = float(min_prob)
+        self.scheme_name = scheme
+        self.adaptive: AdaptiveNormEstimator | None = None
+        if method in ADAPTIVE_METHODS:
+            self._n_g = np.array([g.n_g for g in groups], dtype=np.float64)
+            if method == "adaptive":
+                self.adaptive = AdaptiveNormEstimator(len(groups))
+            self.p = variance_optimal_probabilities(self._n_g, min_prob=min_prob)
+        else:
+            self.p = sampling_probabilities(groups, method=method, min_prob=min_prob)
+        self.scheme = make_scheme(scheme, self.p, self.num_sampled)
         self.rng = make_rng(rng)
         self.total_samples = int(sum(g.n_g for g in groups))
         #: per-draw sampling-dispersion metrics (Γ_p, inclusion probs)
@@ -131,26 +198,110 @@ class GroupSampler:
         """Γ_p = Σ_g 1/p_g — the sampling-dispersion term of Theorem 1."""
         return float(np.sum(1.0 / self.p))
 
+    def gamma_alpha(self) -> float:
+        """Σ_g 1/α_g over the scheme's expected multiplicities.
+
+        The scheme-corrected analogue of Γ_p: the dispersion the *actual*
+        unbiased weights experience. Groups a scheme can never select
+        (α_g = 0, possible under ``stratified`` with zero-p groups) are
+        excluded — they never contribute a weight.
+        """
+        alpha = self.scheme.expected_multiplicity
+        positive = alpha > 0
+        return float(np.sum(1.0 / alpha[positive]))
+
+    def observe_update_norms(
+        self, selected: list[Group], norms: np.ndarray
+    ) -> None:
+        """Feed one round's observed ‖Δ_g‖ back into the adaptive method.
+
+        No-op unless ``method="adaptive"``. Recomputes p from the updated
+        norm EMAs and rebinds the scheme, so the *next* draw uses the
+        refreshed probabilities. Deterministic given the observation
+        sequence — the trainer's replay (and checkpoint resume, which
+        restores the estimator state) reproduces the p trajectory exactly.
+        """
+        if self.adaptive is None:
+            return
+        index_by_id = {g.group_id: i for i, g in enumerate(self.groups)}
+        indices = np.array([index_by_id[g.group_id] for g in selected], dtype=np.int64)
+        self.adaptive.observe(indices, norms)
+        self.p = variance_optimal_probabilities(
+            self._n_g, self.adaptive.estimates(), min_prob=self.min_prob
+        )
+        self.scheme = make_scheme(self.scheme_name, self.p, self.num_sampled)
+
     def sample(self) -> tuple[list[Group], np.ndarray]:
-        """Draw S_t; returns (groups, their aggregation weights)."""
-        idx = sample_without_replacement(self.p, self.num_sampled, self.rng)
+        """Draw S_t; returns (distinct groups, their aggregation weights).
+
+        With-replacement schemes can draw a group several times; repeats
+        are folded into that group's weight (``multiplicity``) instead of
+        returning — and training — the same group twice.
+        """
+        raw = self.scheme.draw(self.rng)
+        idx, counts = _dedupe_in_draw_order(raw)
         selected = [self.groups[i] for i in idx]
         weights = aggregation_weights(
-            selected, self.p[idx], self.total_samples, self.mode
+            selected,
+            self.p[idx],
+            self.total_samples,
+            self.mode,
+            inclusion=self.scheme.expected_multiplicity[idx],
+            multiplicity=counts,
         )
         tel = self.telemetry
         if tel.enabled:
             # Fraboni et al. (PAPERS.md): sampling-induced variance is the
             # quantity to watch — record dispersion and participation.
             tel.set_gauge("gamma_p", self.gamma_p())
+            tel.set_gauge("gamma_alpha", self.gamma_alpha())
             tel.inc("groups_sampled", float(len(selected)))
             tel.inc("clients_participating", float(sum(g.size for g in selected)))
             for p_g in self.p[idx]:
                 tel.observe("sampled_group_prob", float(p_g))
         return selected, weights
 
+    def adaptive_state_dict(self) -> dict | None:
+        """The adaptive estimator's state (None for non-adaptive methods)."""
+        if self.adaptive is None:
+            return None
+        return self.adaptive.state_dict()
+
+    def load_adaptive_state_dict(self, state: dict | None) -> None:
+        """Restore the adaptive estimator and recompute p/scheme from it."""
+        if self.adaptive is None:
+            if state is not None:
+                raise ValueError(
+                    "checkpoint carries adaptive-sampler state but this "
+                    f"sampler's method is {self.method!r}"
+                )
+            return
+        if state is None:
+            raise ValueError(
+                "adaptive sampler expects estimator state in the checkpoint"
+            )
+        self.adaptive.load_state_dict(state)
+        self.p = variance_optimal_probabilities(
+            self._n_g, self.adaptive.estimates(), min_prob=self.min_prob
+        )
+        self.scheme = make_scheme(self.scheme_name, self.p, self.num_sampled)
+
     def __repr__(self) -> str:
         return (
-            f"GroupSampler(method={self.method!r}, S={self.num_sampled}, "
-            f"mode={self.mode.value}, |G|={len(self.groups)})"
+            f"GroupSampler(method={self.method!r}, scheme={self.scheme_name!r}, "
+            f"S={self.num_sampled}, mode={self.mode.value}, |G|={len(self.groups)})"
         )
+
+
+def _dedupe_in_draw_order(raw: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(distinct indices in first-draw order, their multiplicities)."""
+    idx: list[int] = []
+    counts: dict[int, int] = {}
+    for i in raw.tolist():
+        if i in counts:
+            counts[i] += 1
+        else:
+            counts[i] = 1
+            idx.append(i)
+    index = np.array(idx, dtype=np.int64)
+    return index, np.array([counts[i] for i in idx], dtype=np.float64)

@@ -234,3 +234,53 @@ class TestColumnarScale:
         estimates = (n_g[draws] / (n * p[draws])) * x[draws]
         se = estimates.std(ddof=1) / np.sqrt(rounds)
         assert abs(estimates.mean() - target) < 4.0 * se
+
+
+class TestApplyFloorProperties:
+    """Hypothesis properties of the min_prob water-filling floor.
+
+    For any CoV mix and any feasible floor, the floored vector must be
+    (a) an exact probability distribution — tight enough for
+    ``rng.choice``'s internal sum check, not just ``np.isclose`` —
+    (b) entirely at-or-above the floor, and (c) mass-conserving: the
+    pinned entries hold exactly ``floor`` each and the free entries share
+    the remainder in the same proportions they had before flooring.
+    """
+
+    @given(
+        covs=st.lists(st.floats(1e-3, 10.0), min_size=2, max_size=30),
+        floor_frac=st.floats(0.0, 0.95),
+        method=st.sampled_from(["rcov", "srcov", "esrcov"]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_floored_vector_properties(self, covs, floor_frac, method):
+        n = len(covs)
+        floor = floor_frac / n  # always feasible: floor·n = floor_frac < 1
+        p_raw = sampling_probabilities(np.array(covs), method)
+        p = sampling_probabilities(np.array(covs), method, min_prob=floor)
+
+        # (a) sums to 1 within one rounding — the rng.choice-tight bound.
+        assert abs(p.sum() - 1.0) < 1e-12
+        # (b) nothing below the floor.
+        assert (p >= floor - 1e-15).all()
+        # (c) free entries keep their pre-floor proportions.
+        free = p > floor + 1e-12
+        if free.sum() >= 2:
+            ratios = p[free] / p_raw[free]
+            assert np.allclose(ratios, ratios[0], rtol=1e-9)
+
+    @given(
+        covs=st.lists(st.floats(1e-3, 10.0), min_size=2, max_size=20),
+        floor_frac=st.floats(0.2, 0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_floored_vector_always_drawable(self, covs, floor_frac):
+        """End to end: every floored vector passes rng.choice's strict
+        internal sum validation (the historical drift failure)."""
+        n = len(covs)
+        p = sampling_probabilities(
+            np.array(covs), "esrcov", min_prob=floor_frac / n
+        )
+        rng = np.random.default_rng(0)
+        idx = sample_without_replacement(p, min(2, n), rng)
+        assert len(set(idx.tolist())) == min(2, n)

@@ -175,6 +175,53 @@ class TestAggregationWeights:
         w = aggregation_weights(self.groups, p, 1000, "stabilized")
         assert w.max() <= 1.0
 
+    def test_plain_list_p_selected_accepted(self):
+        """Array-likes work: a plain list used to die on ``.shape``."""
+        w = aggregation_weights(self.groups, [0.5, 0.5], 1000, "biased")
+        assert np.allclose(w, [0.6, 0.4])
+        w = aggregation_weights(self.groups, (0.4, 0.1), 1000, "unbiased")
+        assert w[0] == pytest.approx(120 / (0.4 * 2 * 1000))
+
+    def test_zero_total_samples_raises(self):
+        """total_samples=0 used to yield silent inf/nan weights."""
+        for mode in ("unbiased", "stabilized"):
+            with pytest.raises(ValueError, match="total_samples"):
+                aggregation_weights(self.groups, np.array([0.5, 0.5]), 0, mode)
+        with pytest.raises(ValueError, match="total_samples"):
+            aggregation_weights(self.groups, np.array([0.5, 0.5]), -3, "unbiased")
+        # biased mode never divides by it — stays permissive
+        w = aggregation_weights(self.groups, np.array([0.5, 0.5]), 0, "biased")
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_explicit_inclusion_overrides_legacy_alpha(self):
+        """Passing π directly uses n_g/(n·π_g), not n_g/(n·S·p_g)."""
+        pi = np.array([0.9, 0.25])
+        w = aggregation_weights(
+            self.groups, np.array([0.4, 0.1]), 1000, "unbiased", inclusion=pi
+        )
+        assert w[0] == pytest.approx(120 / (0.9 * 1000))
+        assert w[1] == pytest.approx(80 / (0.25 * 1000))
+
+    def test_multiplicity_scales_weights(self):
+        """A group drawn twice (multinomial) counts twice, trains once."""
+        base = aggregation_weights(
+            self.groups, np.array([0.4, 0.1]), 1000, "unbiased",
+            inclusion=np.array([0.8, 0.2]),
+        )
+        doubled = aggregation_weights(
+            self.groups, np.array([0.4, 0.1]), 1000, "unbiased",
+            inclusion=np.array([0.8, 0.2]), multiplicity=np.array([2.0, 1.0]),
+        )
+        assert doubled[0] == pytest.approx(2 * base[0])
+        assert doubled[1] == pytest.approx(base[1])
+
+    def test_bad_inclusion_rejected(self):
+        with pytest.raises(ValueError, match="finite and positive"):
+            aggregation_weights(
+                self.groups, np.array([0.4, 0.1]), 1000, "unbiased",
+                inclusion=np.array([0.5, 0.0]),
+            )
+
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             aggregation_weights(self.groups, np.array([0.5]), 1000, "biased")
