@@ -8,6 +8,7 @@ training at a set round. Group-FEL itself is CoV-Grouping + CoV sampling.
 """
 
 from repro.baselines.fedclar import FedCLARTrainer
+from repro.baselines.ifca import IFCATrainer
 from repro.baselines.registry import METHODS, MethodSpec, build_method
 
-__all__ = ["FedCLARTrainer", "METHODS", "MethodSpec", "build_method"]
+__all__ = ["FedCLARTrainer", "IFCATrainer", "METHODS", "MethodSpec", "build_method"]

@@ -19,6 +19,8 @@ set.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 from scipy.cluster.hierarchy import fcluster, linkage
 from scipy.spatial.distance import squareform
@@ -54,6 +56,9 @@ class FedCLARTrainer(GroupFELTrainer):
             raise ValueError(f"cluster_round must be >= 1, got {cluster_round}")
         if num_clusters < 2:
             raise ValueError(f"num_clusters must be >= 2, got {num_clusters}")
+        # Post-clustering evaluation blends k cluster models; the pipelined
+        # eval path scores one snapshotted vector and would diverge.
+        self.config = replace(self.config, pipeline_rounds=False)
         self.cluster_round = int(cluster_round)
         self.num_clusters = int(num_clusters)
         self.cluster_models: dict[int, np.ndarray] | None = None
@@ -142,3 +147,38 @@ class FedCLARTrainer(GroupFELTrainer):
             loss += w * l
             acc += w * a
         return loss, acc
+
+    # ---------------------------------------------------------- checkpointing
+    def extra_state_dict(self) -> dict | None:
+        if self.cluster_models is None:
+            return None
+        return {
+            "fedclar_models": {
+                int(c): np.array(p, copy=True)
+                for c, p in self.cluster_models.items()
+            },
+            "fedclar_client_cluster": np.array(self.client_cluster, copy=True),
+            "fedclar_groups": {
+                int(c): g for c, g in self.cluster_groups.items()
+            },
+        }
+
+    def load_extra_state_dict(self, state: dict | None) -> None:
+        if not state:
+            # Checkpoint taken before the clustering round: resume the
+            # plain hierarchical phase.
+            self.cluster_models = None
+            self.client_cluster = None
+            self.cluster_groups = None
+            return
+        if "fedclar_models" not in state:
+            raise ValueError(
+                "checkpoint extra state is not FedCLAR's — it was written "
+                "by a different trainer class"
+            )
+        self.cluster_models = {
+            int(c): np.array(p, copy=True)
+            for c, p in state["fedclar_models"].items()
+        }
+        self.client_cluster = np.array(state["fedclar_client_cluster"], copy=True)
+        self.cluster_groups = dict(state["fedclar_groups"])

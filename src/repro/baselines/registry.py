@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.baselines.fedclar import FedCLARTrainer
+from repro.baselines.ifca import IFCATrainer
 from repro.core.strategies import (
     FedProxStrategy,
     LocalStrategy,
@@ -26,6 +27,7 @@ from repro.data.client_data import FederatedDataset
 from repro.grouping import (
     CDGGrouping,
     CoVGrouping,
+    FedGroupGrouping,
     Grouper,
     KLDGrouping,
     RandomGrouping,
@@ -46,6 +48,9 @@ class MethodSpec:
     strategy_factory: Callable[[], LocalStrategy]
     trainer_cls: type = GroupFELTrainer
     trainer_kwargs: dict | None = None
+    #: optional per-method sampling scheme (None = keep the config's), so
+    #: e.g. an HT-corrected multinomial baseline is expressible as a spec.
+    sampling_scheme: str | None = None
 
 
 def _covg(size: int, max_cov: float) -> Grouper:
@@ -64,7 +69,12 @@ def _kldg(size: int, max_cov: float) -> Grouper:
     return KLDGrouping(min_group_size=size)
 
 
-#: The seven methods of §7.3 (Figs. 9–11).
+def _fedgroup(size: int, max_cov: float) -> Grouper:
+    return FedGroupGrouping(group_size=size)
+
+
+#: The seven methods of §7.3 (Figs. 9–11) plus the clustered-FL suite
+#: from the related work (IFCA, FedGroup).
 METHODS: dict[str, MethodSpec] = {
     "group_fel": MethodSpec("group_fel", _covg, "esrcov", PlainSGDStrategy),
     "fedavg": MethodSpec("fedavg", _rg, "random", PlainSGDStrategy),
@@ -80,6 +90,15 @@ METHODS: dict[str, MethodSpec] = {
         trainer_cls=FedCLARTrainer,
         trainer_kwargs={"cluster_round": 10, "num_clusters": 4},
     ),
+    "ifca": MethodSpec(
+        "ifca",
+        _rg,
+        "random",
+        PlainSGDStrategy,
+        trainer_cls=IFCATrainer,
+        trainer_kwargs={"num_clusters": 3},
+    ),
+    "fedgroup": MethodSpec("fedgroup", _fedgroup, "random", PlainSGDStrategy),
 }
 
 
@@ -96,6 +115,7 @@ def build_method(
     telemetry=None,
     parallel=None,
     checkpoint_dir=None,
+    sampling_scheme: str | None = None,
 ) -> GroupFELTrainer:
     """Build a ready-to-run trainer for a named method.
 
@@ -107,7 +127,14 @@ def build_method(
         similar group sizes" (§7.1).
     config:
         Shared hyperparameters; the method's sampling rule overrides
-        ``config.sampling_method``.
+        ``config.sampling_method``. The override is recorded in the
+        trainer's ``history.extra["sampling"]`` (with the clobbered
+        request under ``"requested_method"``) so the effective rule is
+        always observable.
+    sampling_scheme:
+        Optional draw-scheme override (see ``repro.sampling.schemes``);
+        wins over the spec's ``sampling_scheme``, which wins over
+        ``config.sampling_scheme``.
     telemetry:
         Optional :class:`repro.telemetry.Telemetry` forwarded to the
         trainer (default: the ambient instance).
@@ -127,8 +154,11 @@ def build_method(
     grouper = spec.grouper_factory(group_size_knob, max_cov)
     groups = group_clients_per_edge(grouper, fed.L, edge_assignment, rng=rng)
     cfg = replace(config, sampling_method=spec.sampling_method)
+    scheme = sampling_scheme if sampling_scheme is not None else spec.sampling_scheme
+    if scheme is not None:
+        cfg = replace(cfg, sampling_scheme=scheme)
     kwargs = dict(spec.trainer_kwargs or {})
-    return spec.trainer_cls(
+    trainer = spec.trainer_cls(
         model_fn,
         fed,
         groups,
@@ -145,3 +175,15 @@ def build_method(
         checkpoint_dir=checkpoint_dir,
         **kwargs,
     )
+    # Make the effective sampling configuration observable: the spec's
+    # rule silently wins over config.sampling_method, so record both.
+    sampling_record = {
+        "method": trainer.config.sampling_method,
+        "scheme": trainer.config.sampling_scheme,
+    }
+    if config.sampling_method != spec.sampling_method:
+        sampling_record["requested_method"] = config.sampling_method
+        if trainer.telemetry.enabled:
+            trainer.telemetry.inc("build_method.sampling_method_overridden")
+    trainer.history.extra["sampling"] = sampling_record
+    return trainer

@@ -77,6 +77,7 @@ def capture_state(trainer: "GroupFELTrainer") -> dict:
             if trainer.population_engine is not None
             else None
         ),
+        "trainer_extra": copy.deepcopy(trainer.extra_state_dict()),
     }
 
 
@@ -132,3 +133,6 @@ def restore_state(trainer: "GroupFELTrainer", state: dict) -> None:
             "population model — construct it with the same "
             "TrainerConfig.population (and grouper/edge_assignment)"
         )
+    # Subclass-owned state (IFCA centers, FedCLAR clusters) restores last:
+    # it may reference the restored groups.
+    trainer.load_extra_state_dict(copy.deepcopy(state.get("trainer_extra")))

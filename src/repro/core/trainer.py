@@ -803,6 +803,7 @@ class GroupFELTrainer:
                 rng=self.rng.spawn(1)[0],
             )
         self.sampler = self._make_sampler()
+        self._on_groups_changed()
 
     # ------------------------------------------------------------------ faults
     def _apply_group_failures(
@@ -864,6 +865,7 @@ class GroupFELTrainer:
         model: Model,
         optimizer: SGD,
         parent_span_id: int | None = None,
+        start_params: np.ndarray | None = None,
     ) -> tuple[np.ndarray, list[FaultEvent]]:
         events: list[FaultEvent] = []
         params = run_group_round(
@@ -871,7 +873,7 @@ class GroupFELTrainer:
             optimizer,
             group,
             self._clients_for(group),
-            self.global_params,
+            self.global_params if start_params is None else start_params,
             group_rounds=self.config.group_rounds,
             local_rounds=self.config.local_rounds,
             batch_size=self.config.batch_size,
@@ -947,6 +949,154 @@ class GroupFELTrainer:
                 return None
         return self._shm
 
+    def _execute_groups(
+        self,
+        selected: list[Group],
+        group_rngs: list[np.random.Generator],
+        start_params: np.ndarray,
+        round_span_id: int | None,
+    ) -> list[tuple[np.ndarray, list[FaultEvent]]]:
+        """Train ``selected`` from ``start_params`` on the configured backend.
+
+        Returns one ``(group_params, fault_events)`` pair per group, in
+        order. Shared-memory results are copied out of the ring before
+        returning, so callers may invoke this several times per round
+        (clustered trainers do — once per cluster, each from a different
+        start vector) without slot-reuse hazards.
+        """
+        # SCAFFOLD mutates shared control-variate state per client; run
+        # its groups serially regardless of the configured backend.
+        # Single-group rounds also run serially: pool dispatch buys
+        # nothing, and the process path would route group ops through
+        # NULL_TELEMETRY, losing their spans and counters.
+        stateful = self.strategy.name == "scaffold"
+        if (
+            self._pmap.backend == "serial"
+            or stateful
+            or len(selected) <= 1
+        ):
+            results = []
+            for g, r in zip(selected, group_rngs):
+                model, opt = self._fresh_model_and_optimizer()
+                results.append(
+                    self._run_one_group(g, r, model, opt, start_params=start_params)
+                )
+        elif self._pmap.backend == "thread":
+            def work(args):
+                group, grng = args
+                model, opt = self._fresh_model_and_optimizer()
+                return self._run_one_group(
+                    group,
+                    grng,
+                    model,
+                    opt,
+                    parent_span_id=round_span_id,
+                    start_params=start_params,
+                )
+
+            results = self._pmap.map(work, list(zip(selected, group_rngs)))
+        else:
+            # Process pool: the dataset/model factory already live in
+            # the workers (one-time registration); ship only the small
+            # per-round deltas (group ops are rebuilt in the worker;
+            # spans stay parent-side). With shared memory, the start
+            # params go out and the group models come back through shm
+            # rings — each task pickle carries two ~100-byte slot
+            # descriptors instead of two P-sized float64 arrays.
+            channel = self._shm_channel()
+            if channel is not None:
+                params_ref: np.ndarray | ShmView = channel.publish_params(
+                    start_params
+                )
+                slots: list[ShmView | None] = channel.result_slots(
+                    len(selected)
+                )
+            else:
+                params_ref = start_params
+                slots = [None] * len(selected)
+            tasks = [
+                self._group_task(g, r, global_params=params_ref, result=s)
+                for g, r, s in zip(selected, group_rngs, slots)
+            ]
+            results = self._pmap.map(_process_group_worker, tasks)
+            if channel is not None:
+                # Workers signalled the zero-copy path with None params;
+                # copy their slots out of the ring so a later dispatch
+                # (same round or next) can reuse it safely.
+                results = [
+                    (
+                        np.array(channel.result_array(i))
+                        if params is None
+                        else params,
+                        events,
+                    )
+                    for i, (params, events) in enumerate(results)
+                ]
+        return results
+
+    def _train_selected(
+        self,
+        selected: list[Group],
+        weights: np.ndarray,
+        group_rngs: list[np.random.Generator],
+        round_span_id: int | None,
+        round_events: list[FaultEvent],
+    ) -> None:
+        """Run the sampled groups and fold their models into the global one.
+
+        The default implementation starts every group from
+        ``self.global_params`` and replaces it with the Eq. (4) weighted
+        average. Clustered trainers override this to route groups through
+        per-cluster center models instead.
+        """
+        tel = self.telemetry
+        results = self._execute_groups(
+            selected, group_rngs, self.global_params, round_span_id
+        )
+        group_models = [params for params, _ in results]
+        for _, events in results:
+            round_events.extend(events)
+
+        stacked = np.vstack(group_models)
+        if self.sampler.adaptive is not None:
+            # Heterogeneity-guided feedback: observed ‖Δ_g‖ refines the
+            # variance-optimal p for the *next* round's draw. Norms are
+            # pure functions of the (bit-identical) group models, so
+            # the p trajectory replays on every backend.
+            self.sampler.observe_update_norms(
+                selected,
+                np.linalg.norm(stacked - self.global_params, axis=1),
+            )
+        normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
+        with tel.span("cloud_aggregate", num_groups=len(selected)):
+            self.global_params = weighted_average(
+                stacked, weights, normalize=normalize
+            )
+        if tel.enabled:
+            tel.inc("cloud_bytes_aggregated", float(stacked.nbytes))
+            tel.inc("cloud_params_averaged", float(stacked.size))
+
+    def _on_groups_changed(self) -> None:
+        """Hook: the group partition was rebuilt (population churn or a
+        scheduled regroup). Clustered trainers refresh cluster
+        assignments here; the base trainer needs nothing."""
+
+    # ----------------------------------------------------- subclass checkpoints
+    def extra_state_dict(self) -> dict | None:
+        """Subclass-owned evolving state to fold into checkpoints (cluster
+        centers, assignments, ...). ``None`` means nothing extra."""
+        return None
+
+    def load_extra_state_dict(self, state: dict | None) -> None:
+        """Restore what :meth:`extra_state_dict` captured. The base trainer
+        has no extra state, so a truthy payload means the checkpoint came
+        from a different trainer class."""
+        if state:
+            raise ValueError(
+                f"checkpoint carries extra trainer state {sorted(state)} but "
+                f"{type(self).__name__} does not define load_extra_state_dict"
+            )
+
     def train_round(self) -> float:
         """Execute one global round (Lines 6–15); returns its cost."""
         tel = self.telemetry
@@ -960,6 +1110,7 @@ class GroupFELTrainer:
                     # groups, so rebuild the sampler — and only then.
                     self.groups = self.population_engine.groups
                     self.sampler = self._make_sampler()
+                    self._on_groups_changed()
                 if (
                     pop_step.data_changed
                     and self._pmap.backend == "process"
@@ -992,89 +1143,10 @@ class GroupFELTrainer:
             round_span_id = tel.current_span_id()
             self._last_round_span_id = round_span_id
 
-            # SCAFFOLD mutates shared control-variate state per client; run
-            # its groups serially regardless of the configured backend.
-            # Single-group rounds also run serially: pool dispatch buys
-            # nothing, and the process path would route group ops through
-            # NULL_TELEMETRY, losing their spans and counters.
-            stateful = self.strategy.name == "scaffold"
-            if (
-                self._pmap.backend == "serial"
-                or stateful
-                or len(selected) <= 1
-            ):
-                results = []
-                for g, r in zip(selected, group_rngs):
-                    model, opt = self._fresh_model_and_optimizer()
-                    results.append(self._run_one_group(g, r, model, opt))
-            elif self._pmap.backend == "thread":
-                def work(args):
-                    group, grng = args
-                    model, opt = self._fresh_model_and_optimizer()
-                    return self._run_one_group(
-                        group, grng, model, opt, parent_span_id=round_span_id
-                    )
-
-                results = self._pmap.map(work, list(zip(selected, group_rngs)))
-            else:
-                # Process pool: the dataset/model factory already live in
-                # the workers (one-time registration); ship only the small
-                # per-round deltas (group ops are rebuilt in the worker;
-                # spans stay parent-side). With shared memory, the global
-                # params go out and the group models come back through shm
-                # rings — each task pickle carries two ~100-byte slot
-                # descriptors instead of two P-sized float64 arrays.
-                channel = self._shm_channel()
-                if channel is not None:
-                    params_ref: np.ndarray | ShmView = channel.publish_params(
-                        self.global_params
-                    )
-                    slots: list[ShmView | None] = channel.result_slots(
-                        len(selected)
-                    )
-                else:
-                    params_ref = self.global_params
-                    slots = [None] * len(selected)
-                tasks = [
-                    self._group_task(g, r, global_params=params_ref, result=s)
-                    for g, r, s in zip(selected, group_rngs, slots)
-                ]
-                results = self._pmap.map(_process_group_worker, tasks)
-                if channel is not None:
-                    # Workers signalled the zero-copy path with None params;
-                    # read their slots (np.vstack below copies, freeing the
-                    # ring for the next round).
-                    results = [
-                        (
-                            channel.result_array(i) if params is None else params,
-                            events,
-                        )
-                        for i, (params, events) in enumerate(results)
-                    ]
-
-            group_models = [params for params, _ in results]
-            for _, events in results:
-                round_events.extend(events)
+            self._train_selected(
+                selected, weights, group_rngs, round_span_id, round_events
+            )
             fault_delay = self._meter_faults(round_events)
-
-            stacked = np.vstack(group_models)
-            if self.sampler.adaptive is not None:
-                # Heterogeneity-guided feedback: observed ‖Δ_g‖ refines the
-                # variance-optimal p for the *next* round's draw. Norms are
-                # pure functions of the (bit-identical) group models, so
-                # the p trajectory replays on every backend.
-                self.sampler.observe_update_norms(
-                    selected,
-                    np.linalg.norm(stacked - self.global_params, axis=1),
-                )
-            normalize = self.config.aggregation_mode is not AggregationMode.UNBIASED
-            with tel.span("cloud_aggregate", num_groups=len(selected)):
-                self.global_params = weighted_average(
-                    stacked, weights, normalize=normalize
-                )
-            if tel.enabled:
-                tel.inc("cloud_bytes_aggregated", float(stacked.nbytes))
-                tel.inc("cloud_params_averaged", float(stacked.size))
             self.strategy.after_global_round()
             cost = self.ledger.charge_round(
                 selected, self.config.group_rounds, self.config.local_rounds

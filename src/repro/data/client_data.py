@@ -121,6 +121,38 @@ class FederatedDataset:
         it; the columnar store exposes the same accessor as a view)."""
         return self.clients[client_id].y
 
+    def client_features(self, client_id: int) -> np.ndarray:
+        """One client's mutable feature array (test-time corruption writes
+        through it; the columnar store exposes the same accessor as a
+        view)."""
+        return self.clients[client_id].x
+
+    def snapshot_shards(self, include_features: bool = False) -> dict:
+        """Copy the mutable per-client data (labels + L, optionally
+        features) so a sweep can restore pristine shards between methods.
+
+        The object path's per-client ``x``/``y`` are fancy-index *copies*
+        of the train arrays, so snapshotting the clients covers every
+        array a population dynamic mutates.
+        """
+        snap: dict = {
+            "L": self.L.copy(),
+            "y": [c.y.copy() for c in self.clients],
+        }
+        if include_features:
+            snap["x"] = [c.x.copy() for c in self.clients]
+        return snap
+
+    def restore_shards(self, snapshot: dict) -> None:
+        """Write a :meth:`snapshot_shards` copy back **in place** — through
+        ``np.copyto``, never rebinding, so every live view (each client's
+        ``label_counts`` aliases its L row) stays valid."""
+        np.copyto(self.L, snapshot["L"])
+        for client, y in zip(self.clients, snapshot["y"]):
+            np.copyto(client.y, y)
+        for client, x in zip(self.clients, snapshot.get("x", ())):
+            np.copyto(client.x, x)
+
     def to_columnar(self, seed: int = 0):
         """Snapshot into a :class:`repro.population.ColumnarPopulation`.
 

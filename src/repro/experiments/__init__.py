@@ -13,6 +13,7 @@ from repro.experiments.configs import (
     get_scale,
     make_audio_workload,
     make_image_workload,
+    make_tta_workload,
 )
 from repro.experiments.multiseed import (
     aggregate_histories,
@@ -31,6 +32,7 @@ from repro.experiments.figures import (
     fig9_fig10_all_methods_cifar,
     fig11_all_methods_sc,
     fig12_grouping_x_sampling,
+    fig_tta_continual,
 )
 from repro.experiments.tables import table1_maxcov_alpha
 from repro.experiments.report import format_series, format_table
@@ -41,6 +43,7 @@ __all__ = [
     "get_scale",
     "make_image_workload",
     "make_audio_workload",
+    "make_tta_workload",
     "run_method",
     "run_methods",
     "run_method_multiseed",
@@ -56,6 +59,7 @@ __all__ = [
     "fig9_fig10_all_methods_cifar",
     "fig11_all_methods_sc",
     "fig12_grouping_x_sampling",
+    "fig_tta_continual",
     "table1_maxcov_alpha",
     "format_series",
     "format_table",

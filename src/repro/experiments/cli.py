@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments fig7 --sampling-scheme stratified
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9
     python -m repro.experiments fig9 --checkpoint-dir ckpts/fig9 --resume
+    python -m repro.experiments tta --scale fast
     python -m repro.experiments list
 """
 
@@ -39,6 +40,7 @@ from repro.experiments.figures import (
     fig9_fig10_all_methods_cifar,
     fig11_all_methods_sc,
     fig12_grouping_x_sampling,
+    fig_tta_continual,
 )
 from repro.experiments.report import format_series, format_table
 from repro.experiments.tables import table1_maxcov_alpha
@@ -57,6 +59,7 @@ GENERATORS = {
     "fig10": (fig9_fig10_all_methods_cifar, True, ("cost", "accuracy")),
     "fig11": (fig11_all_methods_sc, True, ("cost", "accuracy")),
     "fig12": (fig12_grouping_x_sampling, True, ("cost", "accuracy")),
+    "tta": (fig_tta_continual, True, ("cost", "accuracy")),
     "table1": (table1_maxcov_alpha, True, None),
 }
 

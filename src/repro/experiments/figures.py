@@ -19,6 +19,7 @@ from repro.experiments.configs import (
     get_scale,
     make_audio_workload,
     make_image_workload,
+    make_tta_workload,
 )
 from repro.experiments.runner import run_combo, run_method, run_methods
 from repro.grouping import (
@@ -41,10 +42,15 @@ __all__ = [
     "fig9_fig10_all_methods_cifar",
     "fig11_all_methods_sc",
     "fig12_grouping_x_sampling",
+    "fig_tta_continual",
 ]
 
-#: Display order of the §7.3 method comparison.
-ALL_METHODS = ["fedavg", "fedprox", "scaffold", "group_fel", "ouea", "share", "fedclar"]
+#: Display order of the §7.3 method comparison, extended with the
+#: clustered-FL suite from the related work.
+ALL_METHODS = [
+    "fedavg", "fedprox", "scaffold", "group_fel", "ouea", "share", "fedclar",
+    "ifca", "fedgroup",
+]
 
 
 def _history_series(histories: dict) -> dict:
@@ -289,3 +295,25 @@ def fig12_grouping_x_sampling(
         wl = make_image_workload(s, alpha=0.1, seed=seed)
         histories[label] = run_combo(grouper_fn(), sampling, wl, label=label)
     return {"figure": "12", "series": _history_series(histories)}
+
+
+# ---------------------------------------------------------------- TTA scenario
+def fig_tta_continual(
+    scale: str | ExperimentScale | None = None,
+    seed: int = 0,
+    methods: list[str] | None = None,
+) -> dict:
+    """All methods under continual test-time corruption (FedCTTA scenario).
+
+    Accuracy-vs-cost under the unchanged cost model while every client's
+    features stream through a seeded corruption-severity schedule. A fresh
+    workload is built per method, so each sees the identical pristine data
+    and corruption stream regardless of sweep order.
+    """
+    s = get_scale(scale)
+    methods = methods or ALL_METHODS
+    histories = {}
+    for name in methods:
+        wl = make_tta_workload(s, alpha=0.1, seed=seed)
+        histories[name] = run_method(name, wl)
+    return {"figure": "tta", "series": _history_series(histories)}

@@ -11,6 +11,7 @@ from repro.experiments.configs import Workload
 from repro.grouping import Grouper, group_clients_per_edge
 from repro.metrics.history import TrainingHistory
 from repro.parallel import ParallelMap, get_active as get_active_parallel
+from repro.population import PopulationModel, get_active_population
 from repro.rng import derive_seed
 
 __all__ = ["run_method", "run_methods", "run_combo"]
@@ -29,6 +30,7 @@ def run_method(
     parallel: ParallelMap | None = None,
     checkpoint_dir: str | None = None,
     resume_from: str | None = None,
+    sampling_scheme: str | None = None,
 ) -> TrainingHistory:
     """Run one named method (see ``repro.baselines.METHODS``) to completion.
 
@@ -50,12 +52,18 @@ def run_method(
     the returned history is bit-identical to the uninterrupted run's.
 
     ``population`` (a :class:`repro.population.PopulationModel` or spec
-    string) schedules client churn and label drift; omit it to use the
-    config's model, falling back to the ambient one (see
-    ``repro.population.population_activated``). Note that label drift
-    mutates client shards in place — sweeping several methods over *one*
-    workload compounds the mutations; build a fresh workload per method
-    for drift studies.
+    string) schedules client churn, label drift, and feature corruption;
+    omit it to use the config's model, falling back to the ambient one
+    (see ``repro.population.population_activated``). Note that drift and
+    corruption mutate client shards in place — when calling this directly
+    for several methods over *one* workload, restore pristine shards
+    between calls (``fed.snapshot_shards``/``restore_shards``) or build a
+    fresh workload per method; :func:`run_methods` does the restore
+    automatically.
+
+    ``sampling_scheme`` overrides the draw mechanics
+    (``sequential_wor``/``multinomial``/``stratified``); None keeps the
+    method spec's scheme, falling back to the workload config's.
     """
     s = workload.scale
     cfg = workload.trainer_config
@@ -76,6 +84,7 @@ def run_method(
         telemetry=telemetry,
         parallel=parallel,
         checkpoint_dir=checkpoint_dir,
+        sampling_scheme=sampling_scheme,
     )
     try:
         if resume_from is not None:
@@ -83,6 +92,20 @@ def run_method(
         return trainer.run(max_rounds=max_rounds, cost_budget=cost_budget)
     finally:
         trainer.close()
+
+
+def _resolve_population(workload: Workload, population) -> PopulationModel | None:
+    """The population model a sweep will actually run under — argument >
+    workload config > ambient — parsed exactly as ``TrainerConfig`` would,
+    so the sweep's mutation check matches the trainers'."""
+    model = population if population is not None else workload.trainer_config.population
+    if model is None:
+        model = get_active_population()
+    if isinstance(model, str):
+        model = PopulationModel.from_spec(
+            model, seed=derive_seed(workload.trainer_config.seed, "population")
+        )
+    return model
 
 
 def run_methods(
@@ -94,6 +117,7 @@ def run_methods(
     faults=None,
     population=None,
     parallel: ParallelMap | None = None,
+    sampling_scheme: str | None = None,
 ) -> dict[str, TrainingHistory]:
     """Run several methods over the same workload (same data, same budget).
 
@@ -101,6 +125,13 @@ def run_methods(
     ``thread``/``process``) one shared :class:`ParallelMap` is built for the
     whole sweep — workers start once, not once per method — and closed at
     the end. Pass ``parallel`` to reuse an even longer-lived pool.
+
+    With an active population model that mutates shard data (label drift
+    or feature corruption), pristine shards are snapshotted before the
+    first method and restored between methods (and after the last), so
+    every method sees the identical starting data and per-method histories
+    are independent of sweep order. The workload is left pristine when the
+    sweep returns.
 
     To checkpoint/resume a whole sweep, install an ambient
     :class:`repro.checkpoint.CheckpointPolicy`
@@ -115,9 +146,18 @@ def run_methods(
     )
     if owns_pool:
         parallel = ParallelMap(workload.trainer_config.parallel_backend)
+    model = _resolve_population(workload, population)
+    pristine = None
+    if model is not None and (model.has_drift or model.has_corruption):
+        pristine = workload.fed.snapshot_shards(
+            include_features=model.has_corruption
+        )
     try:
-        return {
-            name: run_method(
+        results: dict[str, TrainingHistory] = {}
+        for name in names:
+            if pristine is not None and results:
+                workload.fed.restore_shards(pristine)
+            results[name] = run_method(
                 name,
                 workload,
                 max_rounds=max_rounds,
@@ -126,10 +166,12 @@ def run_methods(
                 faults=faults,
                 population=population,
                 parallel=parallel,
+                sampling_scheme=sampling_scheme,
             )
-            for name in names
-        }
+        return results
     finally:
+        if pristine is not None:
+            workload.fed.restore_shards(pristine)
         if owns_pool:
             parallel.close()
 

@@ -16,6 +16,7 @@ from repro.grouping.base import Group, Grouper, group_clients_per_edge
 from repro.grouping.cov_grouping import CoVGrouping
 from repro.grouping.random_grouping import RandomGrouping
 from repro.grouping.cdg import CDGGrouping
+from repro.grouping.fedgroup import FedGroupGrouping
 from repro.grouping.kldg import KLDGrouping
 from repro.grouping.extensions import (
     CoVGammaGrouping,
@@ -36,6 +37,7 @@ __all__ = [
     "CoVGrouping",
     "RandomGrouping",
     "CDGGrouping",
+    "FedGroupGrouping",
     "KLDGrouping",
     "CoVGammaGrouping",
     "exhaustive_optimal_grouping",

@@ -10,6 +10,7 @@ import numpy as np
 from repro.grouping.base import Group, Grouper
 from repro.grouping.cdg import CDGGrouping
 from repro.grouping.cov_grouping import CoVGrouping
+from repro.grouping.fedgroup import FedGroupGrouping
 from repro.grouping.kldg import KLDGrouping
 from repro.grouping.random_grouping import RandomGrouping
 
@@ -67,7 +68,7 @@ def evaluate_grouping(
 
 
 def make_grouper(name: str, **kwargs) -> Grouper:
-    """Grouper registry: ``covg``, ``rg``, ``cdg``, ``kldg``.
+    """Grouper registry: ``covg``, ``rg``, ``cdg``, ``kldg``, ``fedgroup``.
 
     Keyword arguments are forwarded to the grouper constructor; each grouper
     accepts its own size-control knob (``min_group_size`` for the greedy
@@ -81,6 +82,7 @@ def make_grouper(name: str, **kwargs) -> Grouper:
         "cdg": CDGGrouping,
         "kldg": KLDGrouping,
         "covg_gamma": CoVGammaGrouping,
+        "fedgroup": FedGroupGrouping,
     }
     try:
         cls = registry[name]

@@ -16,9 +16,11 @@ Enable it with ``TrainerConfig(population="start:0.7,join:1,leave:0.02")``
 """
 
 from repro.population.dynamics import (
+    CORRUPTION_MODES,
     DRIFT_MODES,
     Arrivals,
     Departures,
+    FeatureCorruption,
     InitialActive,
     LabelDrift,
     PopulationModel,
@@ -35,10 +37,12 @@ __all__ = [
     "ColumnarPopulation",
     "group_label_counts",
     "DRIFT_MODES",
+    "CORRUPTION_MODES",
     "InitialActive",
     "Arrivals",
     "Departures",
     "LabelDrift",
+    "FeatureCorruption",
     "PopulationModel",
     "PopulationEngine",
     "PopulationStep",

@@ -31,6 +31,12 @@ Comma-separated ``name:value[:param...][@mode]`` terms::
                                fixed class rotation (slow drift)
     drift:0.05:0.3:0.9@corr    correlated episodes: enter drift w.p. 0.05,
                                persist w.p. 0.9, relabel 30%/round inside
+    corrupt:1.0                continual test-time corruption: every round
+                               each client's features are re-noised at a
+                               severity from its streaming schedule
+    corrupt:1.0:5:3            ... severities 1..5, advancing every 3 rounds
+    corrupt:0.5:4:2@ramp       fire w.p. 0.5/round; severity ramps 1→4 and
+                               saturates (default @cycle wraps around)
 
 e.g. ``--population start:0.7,join:1.0,leave:0.03,drift:0.1:0.4``.
 """
@@ -49,14 +55,17 @@ __all__ = [
     "Arrivals",
     "Departures",
     "LabelDrift",
+    "FeatureCorruption",
     "PopulationModel",
     "DRIFT_MODES",
+    "CORRUPTION_MODES",
     "get_active_population",
     "set_active_population",
     "population_activated",
 ]
 
 DRIFT_MODES = ("step", "linear", "corr")
+CORRUPTION_MODES = ("cycle", "ramp")
 
 
 @dataclass(frozen=True)
@@ -129,7 +138,49 @@ class LabelDrift:
             )
 
 
-_DYNAMIC_TYPES = (InitialActive, Arrivals, Departures, LabelDrift)
+@dataclass(frozen=True)
+class FeatureCorruption:
+    """``corrupt:prob[:severities][:period][@mode]`` — continual test-time
+    feature corruption (the FedCTTA scenario).
+
+    Each client walks its own severity schedule — a seeded per-client
+    *phase* staggers the stream so clients sit at different severities in
+    the same round, which is what stresses grouping under non-stationarity.
+    With probability ``prob`` per round, the client's features are
+    re-noised *from pristine* with seeded Gaussian noise of standard
+    deviation ``scale * severity``, severity in ``1..severities``:
+
+    ``cycle`` (default): severity steps every ``period`` rounds and wraps
+    around (the CIFAR-C-style repeating corruption stream).
+    ``ramp``: severity steps every ``period`` rounds and saturates at
+    ``severities`` (monotone degradation).
+    """
+
+    prob: float
+    severities: int = 5
+    period: int = 5
+    mode: str = "cycle"
+    scale: float = 0.25
+    kind = "corrupt"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"corrupt prob must be in [0, 1], got {self.prob}")
+        if self.severities < 1:
+            raise ValueError(
+                f"corrupt severities must be >= 1, got {self.severities}"
+            )
+        if self.period < 1:
+            raise ValueError(f"corrupt period must be >= 1, got {self.period}")
+        if self.mode not in CORRUPTION_MODES:
+            raise ValueError(
+                f"corrupt mode must be one of {CORRUPTION_MODES}, got {self.mode!r}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"corrupt scale must be > 0, got {self.scale}")
+
+
+_DYNAMIC_TYPES = (InitialActive, Arrivals, Departures, LabelDrift, FeatureCorruption)
 
 
 class PopulationModel:
@@ -169,6 +220,10 @@ class PopulationModel:
     @property
     def has_drift(self) -> bool:
         return bool(self.of_kind("drift"))
+
+    @property
+    def has_corruption(self) -> bool:
+        return bool(self.of_kind("corrupt"))
 
     def __bool__(self) -> bool:
         return bool(self.dynamics)
@@ -282,9 +337,59 @@ class PopulationModel:
         indices = rng.choice(n_samples, size=min(num, n_samples), replace=False)
         return int(indices.size), offset, indices.astype(np.int64)
 
+    # ------------------------------------------------------------- corruption
+    def corruption_decisions(
+        self, round_idx: int, client_id: int
+    ) -> list[tuple[int, FeatureCorruption]]:
+        """The corruption dynamics striking this client this round."""
+        fired: list[tuple[int, FeatureCorruption]] = []
+        for idx, dyn in enumerate(self.dynamics):
+            if dyn.kind != "corrupt":
+                continue
+            if self._draw("corrupt", idx, round_idx, client_id) < dyn.prob:
+                fired.append((idx, dyn))
+        return fired
+
+    def corruption_severity(
+        self,
+        index: int,
+        dyn: FeatureCorruption,
+        round_idx: int,
+        client_id: int,
+    ) -> int:
+        """This client's severity (1..severities) at this round.
+
+        The stream position is ``round + phase`` where ``phase`` is a
+        seeded per-client offset into the schedule — pure in (seed, index,
+        client), so replay and resume re-derive the identical stream.
+        """
+        phase = int(
+            self._rng("corrupt-phase", index, client_id).integers(
+                0, dyn.severities * dyn.period
+            )
+        )
+        t = round_idx + phase
+        if dyn.mode == "ramp":
+            return min(dyn.severities, t // dyn.period + 1)
+        return (t // dyn.period) % dyn.severities + 1
+
+    def corruption_noise(
+        self,
+        index: int,
+        dyn: FeatureCorruption,
+        round_idx: int,
+        client_id: int,
+        severity: int,
+        shape: tuple,
+    ) -> np.ndarray:
+        """The additive feature noise a firing corruption applies — pure in
+        (seed, index, round, client), so resume re-derives it exactly."""
+        rng = self._rng("corrupt-apply", index, round_idx, client_id)
+        return rng.normal(0.0, dyn.scale * severity, shape)
+
     # ------------------------------------------------------------------ spec
     #: spec grammar arity: term name → max ``:``-separated values
-    _SPEC_ARITY = {"start": 1, "join": 1, "leave": 1, "drift": 3}
+    _SPEC_ARITY = {"start": 1, "join": 1, "leave": 1, "drift": 3, "corrupt": 3}
 
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "PopulationModel":
@@ -311,7 +416,7 @@ class PopulationModel:
             if name not in cls._SPEC_ARITY:
                 raise ValueError(
                     f"unknown population kind {name!r} in term {raw!r}; "
-                    "known: start, join, leave, drift"
+                    "known: start, join, leave, drift, corrupt"
                 )
             if len(parts) < 2:
                 raise ValueError(
@@ -326,9 +431,9 @@ class PopulationModel:
                 value = float(parts[1])
             except ValueError:
                 raise ValueError(f"bad value in population term {raw!r}") from None
-            if mode is not None and name != "drift":
+            if mode is not None and name not in ("drift", "corrupt"):
                 raise ValueError(
-                    f"population term {raw!r}: only drift takes an @mode"
+                    f"population term {raw!r}: only drift and corrupt take an @mode"
                 )
             if name == "start":
                 if seen_start:
@@ -344,6 +449,13 @@ class PopulationModel:
                     dynamics.append(Arrivals(rate=value))
                 elif name == "leave":
                     dynamics.append(Departures(prob=value))
+                elif name == "corrupt":
+                    ckwargs: dict = {"prob": value, "mode": mode or "cycle"}
+                    if len(parts) > 2:
+                        ckwargs["severities"] = int(parts[2])
+                    if len(parts) > 3:
+                        ckwargs["period"] = int(parts[3])
+                    dynamics.append(FeatureCorruption(**ckwargs))
                 else:  # drift
                     kwargs: dict = {"prob": value, "mode": mode or "step"}
                     if len(parts) > 2:

@@ -93,6 +93,10 @@ class PopulationEngine:
             )
         self._num_active = int(self.active.sum())
         self.groups = self.maintainer.groups()
+        #: pristine per-client feature copies, captured lazily the first
+        #: time a corruption strikes the client — corruption is always
+        #: re-applied *from pristine*, never compounded.
+        self._pristine_x: dict[int, np.ndarray] = {}
 
     @property
     def num_active(self) -> int:
@@ -136,6 +140,12 @@ class PopulationEngine:
                         events.append(event)
                         data_changed = True
 
+        if model.has_corruption:
+            for cid in [int(c) for c in np.flatnonzero(self.active)]:
+                for idx, dyn in model.corruption_decisions(round_idx, cid):
+                    events.append(self._apply_corruption(idx, dyn, round_idx, cid))
+                    data_changed = True
+
         tel = self.telemetry
         with tel.span("population_maintain", round=round_idx):
             changed = self.maintainer.maintain(
@@ -143,13 +153,17 @@ class PopulationEngine:
                 round_idx,
                 record=events.append,
             )
-        groups_changed = changed or bool(events)
+        # Corruption perturbs features only — label counts, and hence the
+        # sampling probabilities and Eq. (4) weights, are untouched, so it
+        # must not trigger a sampler rebuild (which would consume trainer
+        # RNG and change the selection stream).
+        groups_changed = changed or any(e.kind != "corrupt" for e in events)
         if groups_changed:
             self.groups = self.maintainer.groups()
         self.trace.extend(events)
         if tel.enabled:
             for e in events:
-                if e.kind in ("join", "leave", "drift"):
+                if e.kind in ("join", "leave", "drift", "corrupt"):
                     tel.inc(f"population.{e.kind}s")
             tel.set_gauge("population.active", float(self._num_active))
             tel.set_gauge("population.groups", float(len(self.groups)))
@@ -181,6 +195,29 @@ class PopulationEngine:
         return PopulationEvent(
             "drift", round_idx, client_id=cid, index=index, mode=dyn.mode,
             samples=num, offset=offset,
+        )
+
+    def _apply_corruption(
+        self, index: int, dyn, round_idx: int, cid: int
+    ) -> PopulationEvent:
+        """Re-noise the client's features from pristine at this round's
+        severity (continual test-time corruption).
+
+        The event reuses the trace schema's ``offset`` field to carry the
+        severity level, keeping the replay-signature format stable; both
+        the severity and the noise are pure in (seed, index, round,
+        client), so resume re-derives the identical features.
+        """
+        x = self.fed.client_features(cid)
+        pristine = self._pristine_x.setdefault(cid, x.copy())
+        severity = self.model.corruption_severity(index, dyn, round_idx, cid)
+        noise = self.model.corruption_noise(
+            index, dyn, round_idx, cid, severity, x.shape
+        )
+        np.copyto(x, pristine + noise)
+        return PopulationEvent(
+            "corrupt", round_idx, client_id=cid, index=index, mode=dyn.mode,
+            samples=int(x.shape[0]), offset=severity,
         )
 
     def force_repartition(self, round_idx: int) -> None:
@@ -218,6 +255,25 @@ class PopulationEngine:
                 "needs a freshly-constructed trainer over pristine data"
             )
         for e in events[len(mine):]:
+            if e.kind == "corrupt":
+                # Corruption re-noises from pristine, so replaying the
+                # events in order leaves exactly the last severity applied.
+                dyn = self.model.dynamics[e.index]
+                x = self.fed.client_features(e.client_id)
+                pristine = self._pristine_x.setdefault(e.client_id, x.copy())
+                severity = self.model.corruption_severity(
+                    e.index, dyn, e.round, e.client_id
+                )
+                if severity != e.offset:
+                    raise ValueError(
+                        f"corruption replay diverged at {e}: the population "
+                        "model differs from the checkpointed run"
+                    )
+                noise = self.model.corruption_noise(
+                    e.index, dyn, e.round, e.client_id, severity, x.shape
+                )
+                np.copyto(x, pristine + noise)
+                continue
             if e.kind != "drift":
                 continue
             dyn = self.model.dynamics[e.index]

@@ -285,6 +285,32 @@ class ColumnarPopulation:
         a, b = self._offsets[client_id], self._offsets[client_id + 1]
         return self._train_y[a:b]
 
+    def client_features(self, client_id: int) -> np.ndarray:
+        """Client ``i``'s feature array, as a *mutable view* into the
+        shared store — test-time corruption writes through it."""
+        self._require_data()
+        a, b = self._offsets[client_id], self._offsets[client_id + 1]
+        return self._train_x[a:b]
+
+    def snapshot_shards(self, include_features: bool = False) -> dict:
+        """Copy the mutable shard data (labels + L, optionally features)
+        so a sweep can restore pristine state between methods."""
+        self._require_data()
+        snap: dict = {"L": self.L.copy(), "y": self._train_y.copy()}
+        if include_features:
+            snap["x"] = self._train_x.copy()
+        return snap
+
+    def restore_shards(self, snapshot: dict) -> None:
+        """Write a :meth:`snapshot_shards` copy back **in place** (via
+        ``np.copyto``) so materialized views and L-row aliases stay
+        valid."""
+        self._require_data()
+        np.copyto(self.L, snapshot["L"])
+        np.copyto(self._train_y, snapshot["y"])
+        if "x" in snapshot:
+            np.copyto(self._train_x, snapshot["x"])
+
     def materialize(self, ids) -> dict[int, ClientDataset]:
         """Lazily materialize the given clients as zero-copy views.
 

@@ -27,12 +27,15 @@ class PopulationEvent:
     """One population change.
 
     ``kind`` is the event family (``join`` / ``leave`` / ``drift`` /
-    ``migrate`` / ``regroup``). ``index`` identifies which dynamic fired
-    (drift replay re-derives the mutation from it); ``mode`` qualifies
-    drifts (``step`` / ``linear`` / ``corr``) and regroups (``scoped`` /
+    ``corrupt`` / ``migrate`` / ``regroup``). ``index`` identifies which
+    dynamic fired (drift/corruption replay re-derives the mutation from
+    it); ``mode`` qualifies drifts (``step`` / ``linear`` / ``corr``),
+    corruptions (``cycle`` / ``ramp``) and regroups (``scoped`` /
     ``full`` / ``forced``). ``group_id`` / ``to_group_id`` record the
     affected group (joins, leaves, migrations); ``samples`` and ``offset``
-    record a drift's relabeled-sample count and class rotation.
+    record a drift's relabeled-sample count and class rotation — a
+    ``corrupt`` event reuses ``offset`` to carry its severity level,
+    keeping the signature schema stable.
     """
 
     kind: str

@@ -27,9 +27,10 @@ MODEL_FN = lambda: make_mlp(192, 10, hidden=(16,), seed=3)
 
 
 class TestRegistry:
-    def test_all_seven_methods_present(self):
+    def test_all_methods_present(self):
         assert set(METHODS) == {
-            "group_fel", "fedavg", "fedprox", "scaffold", "ouea", "share", "fedclar"
+            "group_fel", "fedavg", "fedprox", "scaffold", "ouea", "share",
+            "fedclar", "ifca", "fedgroup",
         }
 
     def test_unknown_method(self, small_fed, small_edges):

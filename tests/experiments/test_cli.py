@@ -21,7 +21,7 @@ class TestCLI:
     def test_generators_cover_all_artifacts(self):
         assert set(GENERATORS) == {
             "fig2a", "fig2b", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "fig11", "fig12", "table1",
+            "fig9", "fig10", "fig11", "fig12", "tta", "table1",
         }
 
     def test_fig5_text_output(self, capsys, monkeypatch):

@@ -10,6 +10,7 @@ import pytest
 from repro.population import (
     Arrivals,
     Departures,
+    FeatureCorruption,
     InitialActive,
     LabelDrift,
     PopulationEvent,
@@ -39,6 +40,18 @@ class TestSpecParsing:
         (dyn,) = model.dynamics
         assert dyn == LabelDrift(prob=0.2, fraction=0.5, rho=0.8, mode="step")
 
+    def test_corrupt_spec_round_trips(self):
+        model = PopulationModel.from_spec("corrupt:0.5:4:2@ramp", seed=3)
+        assert model.dynamics == [
+            FeatureCorruption(prob=0.5, severities=4, period=2, mode="ramp")
+        ]
+        assert model.has_corruption and not model.has_drift
+
+    def test_corrupt_defaults(self):
+        (dyn,) = PopulationModel.from_spec("corrupt:1.0").dynamics
+        assert dyn == FeatureCorruption(prob=1.0, severities=5, period=5,
+                                        mode="cycle")
+
     def test_mode_suffix_selects_drift_mode(self):
         for mode in ("step", "linear", "corr"):
             model = PopulationModel.from_spec(f"drift:0.1@{mode}")
@@ -58,6 +71,10 @@ class TestSpecParsing:
             "leave:abc",  # non-numeric value
             "",  # no dynamics at all
             "drift:0.1:0",  # fraction out of (0, 1]
+            "corrupt:1.5",  # prob out of [0, 1]
+            "corrupt:0.5:0",  # severities must be >= 1
+            "corrupt:0.5:3:0",  # period must be >= 1
+            "corrupt:0.5@weird",  # unknown corruption mode
         ],
     )
     def test_bad_specs_raise(self, spec):
@@ -125,6 +142,41 @@ class TestDecisionPurity:
     def test_linear_drift_fires_every_round(self):
         model = PopulationModel.from_spec("drift:0.05@linear", seed=0)
         assert all(model.drift_decisions(t, 0) for t in range(5))
+
+    def test_corruption_severity_cycles(self):
+        model = PopulationModel.from_spec("corrupt:1.0:3:2", seed=1)
+        (idx, dyn) = model.corruption_decisions(0, 4)[0]
+        stream = [model.corruption_severity(idx, dyn, t, 4) for t in range(12)]
+        assert all(1 <= s <= 3 for s in stream)
+        assert set(stream) == {1, 2, 3}  # wraps through every level
+        # period=2 ⇒ each severity holds for runs of length <= 2.
+        assert stream[:6] == [model.corruption_severity(idx, dyn, t, 4)
+                              for t in range(6)]  # pure in the site
+
+    def test_corruption_severity_ramp_saturates(self):
+        model = PopulationModel.from_spec("corrupt:1.0:3:2@ramp", seed=1)
+        (idx, dyn) = model.corruption_decisions(0, 0)[0]
+        stream = [model.corruption_severity(idx, dyn, t, 0) for t in range(20)]
+        assert stream == sorted(stream)  # monotone degradation
+        assert stream[-1] == 3  # saturates at `severities`
+
+    def test_corruption_phase_staggers_clients(self):
+        model = PopulationModel.from_spec("corrupt:1.0:4:3", seed=7)
+        (idx, dyn) = model.corruption_decisions(0, 0)[0]
+        at_round0 = {model.corruption_severity(idx, dyn, 0, c)
+                     for c in range(30)}
+        assert len(at_round0) > 1  # clients sit at different severities
+
+    def test_corruption_noise_pure_in_site(self):
+        model = PopulationModel.from_spec("corrupt:1.0", seed=2)
+        (idx, dyn) = model.corruption_decisions(3, 5)[0]
+        a = model.corruption_noise(idx, dyn, 3, 5, severity=2, shape=(4, 6))
+        b = model.corruption_noise(idx, dyn, 3, 5, severity=2, shape=(4, 6))
+        assert np.array_equal(a, b)
+        assert a.shape == (4, 6)
+        # Severity scales the noise level.
+        hard = model.corruption_noise(idx, dyn, 3, 5, severity=4, shape=(4, 6))
+        assert hard.std() > a.std()
 
 
 class TestTrace:
